@@ -1,0 +1,872 @@
+//! The two-pass assembler.
+//!
+//! Pass 1 lays out sections and records label addresses (every pseudo
+//! instruction has a size computable without symbol values). Pass 2
+//! expands pseudos, resolves symbols, and emits the [`Program`].
+//!
+//! The same source assembles in two modes, mirroring the paper's pairing
+//! of a scalar binary with a multiscalar binary built from the same code
+//! (Table 2): in [`AsmMode::Scalar`] all multiscalar artifacts (task
+//! descriptors, tag suffixes, `release` instructions and
+//! `.ms_begin`/`.ms_end` blocks) are dropped, while
+//! `.scalar_begin`/`.scalar_end` blocks are kept, and vice versa.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::parser::{
+    parse_line, DataItem, DataKind, Operand, Section, Stmt, TargetSpec,
+};
+use ms_isa::{
+    DataSegment, FpArithKind, FpCmpCond, Instr, MemWidth, Op, Prec, Program, Reg, RegList,
+    RegMask, TagBits, TaskDescriptor, TaskTarget, DATA_BASE, TEXT_BASE,
+};
+use std::collections::BTreeMap;
+
+/// Which binary to produce from a dual-mode source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AsmMode {
+    /// Strip all multiscalar artifacts (the paper's baseline binary).
+    Scalar,
+    /// Keep task descriptors, tag bits, releases and `.ms` blocks.
+    Multiscalar,
+}
+
+/// Assembler scratch register used by pseudo-instruction expansion
+/// (`$at`, by MIPS convention).
+const AT: Reg = Reg::int(1);
+
+fn err(line: usize, kind: AsmErrorKind) -> AsmError {
+    AsmError::new(line, kind)
+}
+
+/// Assembles `src` into a [`Program`].
+///
+/// # Errors
+/// Returns the first [`AsmError`] encountered: syntax errors, unknown
+/// mnemonics, operand mismatches, undefined/duplicate labels, or
+/// out-of-range immediates and branch offsets.
+///
+/// ```
+/// use ms_asm::{assemble, AsmMode};
+/// let p = assemble("main: li $2, 42\n halt\n", AsmMode::Scalar)?;
+/// assert_eq!(p.text.len(), 2);
+/// # Ok::<(), ms_asm::AsmError>(())
+/// ```
+pub fn assemble(src: &str, mode: AsmMode) -> Result<Program, AsmError> {
+    let stmts = filter_mode(parse_all(src)?, mode)?;
+    let layout = layout(&stmts, mode)?;
+    emit(&stmts, &layout, mode)
+}
+
+fn parse_all(src: &str) -> Result<Vec<(usize, Stmt)>, AsmError> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        for stmt in parse_line(line, i + 1)? {
+            out.push((i + 1, stmt));
+        }
+    }
+    Ok(out)
+}
+
+/// Drops statements excluded by the mode and validates block nesting.
+fn filter_mode(stmts: Vec<(usize, Stmt)>, mode: AsmMode) -> Result<Vec<(usize, Stmt)>, AsmError> {
+    let mut out = Vec::new();
+    let mut ms_depth = 0u32;
+    let mut scalar_depth = 0u32;
+    for (line, stmt) in stmts {
+        match stmt {
+            Stmt::MsBegin => {
+                if scalar_depth > 0 {
+                    return Err(err(line, AsmErrorKind::Directive(
+                        ".ms_begin inside a scalar block".into(),
+                    )));
+                }
+                ms_depth += 1;
+            }
+            Stmt::MsEnd => {
+                ms_depth = ms_depth.checked_sub(1).ok_or_else(|| {
+                    err(line, AsmErrorKind::Directive(".ms_end without .ms_begin".into()))
+                })?;
+            }
+            Stmt::ScalarBegin => {
+                if ms_depth > 0 {
+                    return Err(err(line, AsmErrorKind::Directive(
+                        ".scalar_begin inside a multiscalar block".into(),
+                    )));
+                }
+                scalar_depth += 1;
+            }
+            Stmt::ScalarEnd => {
+                scalar_depth = scalar_depth.checked_sub(1).ok_or_else(|| {
+                    err(line, AsmErrorKind::Directive(
+                        ".scalar_end without .scalar_begin".into(),
+                    ))
+                })?;
+            }
+            other => {
+                let keep = match mode {
+                    AsmMode::Scalar => ms_depth == 0,
+                    AsmMode::Multiscalar => scalar_depth == 0,
+                };
+                if keep {
+                    out.push((line, other));
+                }
+            }
+        }
+    }
+    if ms_depth != 0 || scalar_depth != 0 {
+        return Err(err(0, AsmErrorKind::Directive("unclosed .ms/.scalar block".into())));
+    }
+    Ok(out)
+}
+
+struct Layout {
+    symbols: BTreeMap<String, u32>,
+}
+
+fn align_up(v: u32, to: u32) -> u32 {
+    v.div_ceil(to) * to
+}
+
+fn layout(stmts: &[(usize, Stmt)], mode: AsmMode) -> Result<Layout, AsmError> {
+    let mut symbols = BTreeMap::new();
+    let mut section = Section::Text;
+    let mut text_pc = TEXT_BASE;
+    let mut data_pc = DATA_BASE;
+    for (line, stmt) in stmts {
+        match stmt {
+            Stmt::Label(name) => {
+                let addr = if section == Section::Text { text_pc } else { data_pc };
+                if symbols.insert(name.clone(), addr).is_some() {
+                    return Err(err(*line, AsmErrorKind::DuplicateSymbol(name.clone())));
+                }
+            }
+            Stmt::Section(s) => section = *s,
+            Stmt::Align(n) => {
+                if *n > 16 {
+                    return Err(err(*line, AsmErrorKind::Directive("alignment too large".into())));
+                }
+                let a = 1u32 << n;
+                if section == Section::Text {
+                    text_pc = align_up(text_pc, a.max(4));
+                } else {
+                    data_pc = align_up(data_pc, a);
+                }
+            }
+            Stmt::Data(kind, items) => {
+                if section != Section::Data {
+                    return Err(err(*line, AsmErrorKind::Directive(
+                        "data directive outside .data".into(),
+                    )));
+                }
+                data_pc = align_up(data_pc, kind.size());
+                data_pc += kind.size() * items.len() as u32;
+            }
+            Stmt::Space(n) => {
+                if section == Section::Text {
+                    return Err(err(*line, AsmErrorKind::Directive(".space in .text".into())));
+                }
+                data_pc += n;
+            }
+            Stmt::Asciiz(bytes) => {
+                if section == Section::Data {
+                    data_pc += bytes.len() as u32 + 1;
+                } else {
+                    return Err(err(*line, AsmErrorKind::Directive(".asciiz in .text".into())));
+                }
+            }
+            Stmt::Entry(_) | Stmt::Task { .. } => {}
+            Stmt::Ins { mnem, tags: _, ops } => {
+                if section != Section::Text {
+                    return Err(err(*line, AsmErrorKind::Directive(
+                        "instruction outside .text".into(),
+                    )));
+                }
+                text_pc += 4 * size_in_words(mnem, ops, mode, *line)? as u32;
+            }
+            Stmt::MsBegin | Stmt::MsEnd | Stmt::ScalarBegin | Stmt::ScalarEnd => unreachable!(),
+        }
+    }
+    Ok(Layout { symbols })
+}
+
+/// Number of machine instructions a (possibly pseudo) mnemonic expands to.
+/// Must agree exactly with [`expand`]; `emit` asserts this.
+fn size_in_words(
+    mnem: &str,
+    ops: &[Operand],
+    mode: AsmMode,
+    line: usize,
+) -> Result<usize, AsmError> {
+    Ok(match mnem {
+        "li" => {
+            let v = match ops.get(1) {
+                Some(Operand::Imm(v)) => *v,
+                _ => {
+                    return Err(err(line, AsmErrorKind::BadOperands(
+                        "li expects `li $r, imm`".into(),
+                    )))
+                }
+            };
+            if (-2048..=2047).contains(&v) {
+                1
+            } else {
+                2
+            }
+        }
+        "la" => 2,
+        "blt" | "bge" | "bgt" | "ble" | "bltu" | "bgeu" | "bgtu" | "bleu" => 2,
+        "release" => {
+            if mode == AsmMode::Scalar {
+                0
+            } else {
+                ops.len().div_ceil(RegList::CAPACITY).max(1)
+            }
+        }
+        _ => 1,
+    })
+}
+
+struct Emitter<'a> {
+    symbols: &'a BTreeMap<String, u32>,
+    text: Vec<Instr>,
+    mode: AsmMode,
+}
+
+impl Emitter<'_> {
+    fn pc(&self) -> u32 {
+        TEXT_BASE + 4 * self.text.len() as u32
+    }
+
+    fn sym(&self, name: &str, off: i64, line: usize) -> Result<u32, AsmError> {
+        let base = self
+            .symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, AsmErrorKind::UndefinedSymbol(name.to_owned())))?;
+        Ok((base as i64 + off) as u32)
+    }
+
+    fn reg(&self, op: Option<&Operand>, line: usize) -> Result<Reg, AsmError> {
+        match op {
+            Some(Operand::Reg(r)) => Ok(*r),
+            other => Err(err(line, AsmErrorKind::BadOperands(format!(
+                "expected register, found {other:?}"
+            )))),
+        }
+    }
+
+    fn imm(&self, op: Option<&Operand>, line: usize) -> Result<i64, AsmError> {
+        match op {
+            Some(Operand::Imm(v)) => Ok(*v),
+            Some(Operand::Sym(name, off)) => Ok(self.sym(name, *off, line)? as i64),
+            other => Err(err(line, AsmErrorKind::BadOperands(format!(
+                "expected immediate, found {other:?}"
+            )))),
+        }
+    }
+
+    fn mem(&self, op: Option<&Operand>, line: usize) -> Result<(Reg, i32), AsmError> {
+        match op {
+            Some(Operand::Mem { disp, base }) => {
+                let d = match &**disp {
+                    Operand::Imm(v) => *v,
+                    Operand::Sym(name, off) => self.sym(name, *off, line)? as i64,
+                    _ => unreachable!("parser only builds Imm/Sym displacements"),
+                };
+                let d32 = i32::try_from(d).map_err(|_| {
+                    err(line, AsmErrorKind::OutOfRange(format!("displacement {d}")))
+                })?;
+                Ok((*base, d32))
+            }
+            other => Err(err(line, AsmErrorKind::BadOperands(format!(
+                "expected mem operand `off(base)`, found {other:?}"
+            )))),
+        }
+    }
+
+    /// Branch offset in instructions from the instruction after the one
+    /// about to be emitted to the operand target.
+    fn branch_off(&self, op: Option<&Operand>, line: usize) -> Result<i32, AsmError> {
+        let target = match op {
+            Some(Operand::Sym(name, off)) => self.sym(name, *off, line)?,
+            Some(Operand::Imm(v)) => return Ok(*v as i32),
+            other => {
+                return Err(err(line, AsmErrorKind::BadOperands(format!(
+                    "expected branch target, found {other:?}"
+                ))))
+            }
+        };
+        let from = self.pc() + 4;
+        let delta = (target as i64 - from as i64) / 4;
+        if (target as i64 - from as i64) % 4 != 0 || !(-2048..=2047).contains(&delta) {
+            return Err(err(line, AsmErrorKind::OutOfRange(format!(
+                "branch target {target:#x} out of reach"
+            ))));
+        }
+        Ok(delta as i32)
+    }
+
+    fn jump_target(&self, op: Option<&Operand>, line: usize) -> Result<u32, AsmError> {
+        match op {
+            Some(Operand::Sym(name, off)) => self.sym(name, *off, line),
+            Some(Operand::Imm(v)) => Ok(*v as u32),
+            other => Err(err(line, AsmErrorKind::BadOperands(format!(
+                "expected jump target, found {other:?}"
+            )))),
+        }
+    }
+
+    fn push(&mut self, op: Op) {
+        self.text.push(Instr::new(op));
+    }
+
+    /// Pushes `op` carrying `tags` (dropped in scalar mode).
+    fn push_tagged(&mut self, op: Op, tags: TagBits) {
+        let tags = if self.mode == AsmMode::Scalar { TagBits::NONE } else { tags };
+        self.text.push(Instr { op, tags });
+    }
+
+    fn narrow_imm(&self, v: i64, bits: u32, signed: bool, line: usize) -> Result<i32, AsmError> {
+        let ok = if signed {
+            let half = 1i64 << (bits - 1);
+            (-half..half).contains(&v)
+        } else {
+            (0..(1i64 << bits)).contains(&v)
+        };
+        if !ok {
+            return Err(err(line, AsmErrorKind::OutOfRange(format!(
+                "immediate {v} does not fit {bits} bits"
+            ))));
+        }
+        Ok(v as i32)
+    }
+
+    /// Emits `li rd, v` (1 or 2 instructions), returning with `tags` on the
+    /// last instruction.
+    fn emit_li(&mut self, rd: Reg, v: i64, tags: TagBits, line: usize) -> Result<(), AsmError> {
+        if (-2048..=2047).contains(&v) {
+            self.push_tagged(Op::Addiu { rt: rd, rs: Reg::ZERO, imm: v as i32 }, tags);
+            return Ok(());
+        }
+        let hi = v >> 12;
+        let lo = (v & 0xfff) as i32;
+        if !(-(1i64 << 17)..(1i64 << 17)).contains(&hi) {
+            return Err(err(line, AsmErrorKind::OutOfRange(format!(
+                "li constant {v} exceeds 30-bit range"
+            ))));
+        }
+        self.push(Op::Lui { rt: rd, imm: hi as i32 });
+        self.push_tagged(Op::Ori { rt: rd, rs: rd, imm: lo }, tags);
+        Ok(())
+    }
+
+    fn expand(
+        &mut self,
+        mnem: &str,
+        tags: TagBits,
+        ops: &[Operand],
+        line: usize,
+    ) -> Result<(), AsmError> {
+        let o = |i: usize| ops.get(i);
+        let nops = ops.len();
+        let want = |n: usize| -> Result<(), AsmError> {
+            if nops == n {
+                Ok(())
+            } else {
+                Err(err(line, AsmErrorKind::BadOperands(format!(
+                    "{mnem} expects {n} operands, found {nops}"
+                ))))
+            }
+        };
+
+        macro_rules! r3 {
+            ($variant:ident) => {{
+                want(3)?;
+                let rd = self.reg(o(0), line)?;
+                let rs = self.reg(o(1), line)?;
+                let rt = self.reg(o(2), line)?;
+                self.push_tagged(Op::$variant { rd, rs, rt }, tags);
+            }};
+        }
+        macro_rules! shv {
+            ($variant:ident) => {{
+                want(3)?;
+                let rd = self.reg(o(0), line)?;
+                let rt = self.reg(o(1), line)?;
+                let rs = self.reg(o(2), line)?;
+                self.push_tagged(Op::$variant { rd, rt, rs }, tags);
+            }};
+        }
+        macro_rules! i12 {
+            ($variant:ident, $signed:expr) => {{
+                want(3)?;
+                let rt = self.reg(o(0), line)?;
+                let rs = self.reg(o(1), line)?;
+                let imm = self.narrow_imm(self.imm(o(2), line)?, 12, $signed, line)?;
+                self.push_tagged(Op::$variant { rt, rs, imm }, tags);
+            }};
+        }
+        macro_rules! shimm {
+            ($variant:ident) => {{
+                want(3)?;
+                let rd = self.reg(o(0), line)?;
+                let rt = self.reg(o(1), line)?;
+                let sh = self.narrow_imm(self.imm(o(2), line)?, 6, false, line)? as u8;
+                self.push_tagged(Op::$variant { rd, rt, sh }, tags);
+            }};
+        }
+        macro_rules! load {
+            ($w:expr, $signed:expr) => {{
+                want(2)?;
+                let rt = self.reg(o(0), line)?;
+                let (base, off) = self.mem(o(1), line)?;
+                let off = self.narrow_imm(off as i64, 12, true, line)?;
+                self.push_tagged(
+                    Op::Load { width: $w, signed: $signed, rt, base, off },
+                    tags,
+                );
+            }};
+        }
+        macro_rules! store {
+            ($w:expr) => {{
+                want(2)?;
+                let rt = self.reg(o(0), line)?;
+                let (base, off) = self.mem(o(1), line)?;
+                let off = self.narrow_imm(off as i64, 12, true, line)?;
+                self.push_tagged(Op::Store { width: $w, rt, base, off }, tags);
+            }};
+        }
+        macro_rules! fparith {
+            ($kind:ident, $prec:ident) => {{
+                want(3)?;
+                let fd = self.reg(o(0), line)?;
+                let fs = self.reg(o(1), line)?;
+                let ft = self.reg(o(2), line)?;
+                self.push_tagged(
+                    Op::FpArith {
+                        kind: FpArithKind::$kind,
+                        prec: Prec::$prec,
+                        fd,
+                        fs,
+                        ft,
+                    },
+                    tags,
+                );
+            }};
+        }
+        macro_rules! fpcmp {
+            ($cond:ident, $prec:ident) => {{
+                want(3)?;
+                let rd = self.reg(o(0), line)?;
+                let fs = self.reg(o(1), line)?;
+                let ft = self.reg(o(2), line)?;
+                self.push_tagged(
+                    Op::FpCmp { cond: FpCmpCond::$cond, prec: Prec::$prec, rd, fs, ft },
+                    tags,
+                );
+            }};
+        }
+        // Two-instruction compare-and-branch pseudo.
+        macro_rules! cmpbr {
+            ($swap:expr, $unsigned:expr, $on_set:expr) => {{
+                want(3)?;
+                let rs = self.reg(o(0), line)?;
+                let rt = self.reg(o(1), line)?;
+                let (a, b) = if $swap { (rt, rs) } else { (rs, rt) };
+                if $unsigned {
+                    self.push(Op::Sltu { rd: AT, rs: a, rt: b });
+                } else {
+                    self.push(Op::Slt { rd: AT, rs: a, rt: b });
+                }
+                let off = self.branch_off(o(2), line)?;
+                let op = if $on_set {
+                    Op::Bne { rs: AT, rt: Reg::ZERO, off }
+                } else {
+                    Op::Beq { rs: AT, rt: Reg::ZERO, off }
+                };
+                self.push_tagged(op, tags);
+            }};
+        }
+
+        match mnem {
+            "addu" | "add" => r3!(Addu),
+            "subu" | "sub" => r3!(Subu),
+            "and" => r3!(And),
+            "or" => r3!(Or),
+            "xor" => r3!(Xor),
+            "nor" => r3!(Nor),
+            "slt" => r3!(Slt),
+            "sltu" => r3!(Sltu),
+            "mul" | "mult" => r3!(Mul),
+            "div" => r3!(Div),
+            "rem" => r3!(Rem),
+            "sllv" => shv!(Sllv),
+            "srlv" => shv!(Srlv),
+            "srav" => shv!(Srav),
+            "addiu" | "addi" => i12!(Addiu, true),
+            "andi" => i12!(Andi, false),
+            "ori" => i12!(Ori, false),
+            "xori" => i12!(Xori, false),
+            "slti" => i12!(Slti, true),
+            "sltiu" => i12!(Sltiu, true),
+            "sll" => shimm!(Sll),
+            "srl" => shimm!(Srl),
+            "sra" => shimm!(Sra),
+            "lui" => {
+                want(2)?;
+                let rt = self.reg(o(0), line)?;
+                let imm = self.narrow_imm(self.imm(o(1), line)?, 18, true, line)?;
+                self.push_tagged(Op::Lui { rt, imm }, tags);
+            }
+            "lb" => load!(MemWidth::B, true),
+            "lbu" => load!(MemWidth::B, false),
+            "lh" => load!(MemWidth::H, true),
+            "lhu" => load!(MemWidth::H, false),
+            "lw" => load!(MemWidth::W, true),
+            "lwu" => load!(MemWidth::W, false),
+            "ld" | "l.d" | "ldc1" => load!(MemWidth::D, true),
+            "sb" => store!(MemWidth::B),
+            "sh" => store!(MemWidth::H),
+            "sw" => store!(MemWidth::W),
+            "sd" | "s.d" | "sdc1" => store!(MemWidth::D),
+            "beq" | "bne" => {
+                want(3)?;
+                let rs = self.reg(o(0), line)?;
+                let rt = self.reg(o(1), line)?;
+                let off = self.branch_off(o(2), line)?;
+                let op = if mnem == "beq" {
+                    Op::Beq { rs, rt, off }
+                } else {
+                    Op::Bne { rs, rt, off }
+                };
+                self.push_tagged(op, tags);
+            }
+            "blez" | "bgtz" | "bltz" | "bgez" => {
+                want(2)?;
+                let rs = self.reg(o(0), line)?;
+                let off = self.branch_off(o(1), line)?;
+                let op = match mnem {
+                    "blez" => Op::Blez { rs, off },
+                    "bgtz" => Op::Bgtz { rs, off },
+                    "bltz" => Op::Bltz { rs, off },
+                    _ => Op::Bgez { rs, off },
+                };
+                self.push_tagged(op, tags);
+            }
+            "beqz" | "bnez" => {
+                want(2)?;
+                let rs = self.reg(o(0), line)?;
+                let off = self.branch_off(o(1), line)?;
+                let op = if mnem == "beqz" {
+                    Op::Beq { rs, rt: Reg::ZERO, off }
+                } else {
+                    Op::Bne { rs, rt: Reg::ZERO, off }
+                };
+                self.push_tagged(op, tags);
+            }
+            "b" => {
+                want(1)?;
+                let off = self.branch_off(o(0), line)?;
+                self.push_tagged(Op::Beq { rs: Reg::ZERO, rt: Reg::ZERO, off }, tags);
+            }
+            "blt" => cmpbr!(false, false, true),
+            "bge" => cmpbr!(false, false, false),
+            "bgt" => cmpbr!(true, false, true),
+            "ble" => cmpbr!(true, false, false),
+            "bltu" => cmpbr!(false, true, true),
+            "bgeu" => cmpbr!(false, true, false),
+            "bgtu" => cmpbr!(true, true, true),
+            "bleu" => cmpbr!(true, true, false),
+            "j" => {
+                want(1)?;
+                let target = self.jump_target(o(0), line)?;
+                self.push_tagged(Op::J { target }, tags);
+            }
+            "jal" => {
+                want(1)?;
+                let target = self.jump_target(o(0), line)?;
+                self.push_tagged(Op::Jal { target }, tags);
+            }
+            "jr" => {
+                want(1)?;
+                let rs = self.reg(o(0), line)?;
+                self.push_tagged(Op::Jr { rs }, tags);
+            }
+            "jalr" => {
+                let (rd, rs) = match nops {
+                    1 => (Reg::RA, self.reg(o(0), line)?),
+                    2 => (self.reg(o(0), line)?, self.reg(o(1), line)?),
+                    _ => {
+                        return Err(err(line, AsmErrorKind::BadOperands(
+                            "jalr expects 1 or 2 operands".into(),
+                        )))
+                    }
+                };
+                self.push_tagged(Op::Jalr { rd, rs }, tags);
+            }
+            "add.s" => fparith!(Add, S),
+            "sub.s" => fparith!(Sub, S),
+            "mul.s" => fparith!(Mul, S),
+            "div.s" => fparith!(Div, S),
+            "add.d" => fparith!(Add, D),
+            "sub.d" => fparith!(Sub, D),
+            "mul.d" => fparith!(Mul, D),
+            "div.d" => fparith!(Div, D),
+            "c.eq.s" => fpcmp!(Eq, S),
+            "c.lt.s" => fpcmp!(Lt, S),
+            "c.le.s" => fpcmp!(Le, S),
+            "c.eq.d" => fpcmp!(Eq, D),
+            "c.lt.d" => fpcmp!(Lt, D),
+            "c.le.d" => fpcmp!(Le, D),
+            "neg.s" | "neg.d" | "abs.s" | "abs.d" | "mov.d" | "mov.s" => {
+                want(2)?;
+                let fd = self.reg(o(0), line)?;
+                let fs = self.reg(o(1), line)?;
+                let prec = if mnem.ends_with(".s") { Prec::S } else { Prec::D };
+                let op = if mnem.starts_with("neg") {
+                    Op::FpNeg { prec, fd, fs }
+                } else if mnem.starts_with("abs") {
+                    Op::FpAbs { prec, fd, fs }
+                } else {
+                    Op::FpMov { fd, fs }
+                };
+                self.push_tagged(op, tags);
+            }
+            "cvt.d.w" => {
+                want(2)?;
+                let fd = self.reg(o(0), line)?;
+                let rs = self.reg(o(1), line)?;
+                self.push_tagged(Op::CvtDW { fd, rs }, tags);
+            }
+            "cvt.w.d" => {
+                want(2)?;
+                let rd = self.reg(o(0), line)?;
+                let fs = self.reg(o(1), line)?;
+                self.push_tagged(Op::CvtWD { rd, fs }, tags);
+            }
+            "dmtc1" => {
+                want(2)?;
+                let fs = self.reg(o(0), line)?;
+                let rt = self.reg(o(1), line)?;
+                self.push_tagged(Op::Dmtc1 { fs, rt }, tags);
+            }
+            "dmfc1" => {
+                want(2)?;
+                let rt = self.reg(o(0), line)?;
+                let fs = self.reg(o(1), line)?;
+                self.push_tagged(Op::Dmfc1 { rt, fs }, tags);
+            }
+            "release" => {
+                if self.mode == AsmMode::Scalar {
+                    return Ok(()); // dropped entirely from the scalar binary
+                }
+                if nops == 0 {
+                    return Err(err(line, AsmErrorKind::BadOperands(
+                        "release expects at least one register".into(),
+                    )));
+                }
+                let mut regs: Vec<Reg> = Vec::with_capacity(nops);
+                for i in 0..nops {
+                    regs.push(self.reg(o(i), line)?);
+                }
+                let nchunks = regs.len().div_ceil(RegList::CAPACITY);
+                for (ci, chunk) in regs.chunks(RegList::CAPACITY).enumerate() {
+                    let t = if ci + 1 == nchunks { tags } else { TagBits::NONE };
+                    self.push_tagged(Op::Release { regs: RegList::from_slice(chunk) }, t);
+                }
+            }
+            "halt" => {
+                want(0)?;
+                self.push_tagged(Op::Halt, tags);
+            }
+            "nop" => {
+                want(0)?;
+                self.push_tagged(Op::Nop, tags);
+            }
+            // ---- remaining pseudos ----
+            "li" => {
+                want(2)?;
+                let rd = self.reg(o(0), line)?;
+                let v = match o(1) {
+                    Some(Operand::Imm(v)) => *v,
+                    _ => {
+                        return Err(err(line, AsmErrorKind::BadOperands(
+                            "li expects `li $r, imm`".into(),
+                        )))
+                    }
+                };
+                self.emit_li(rd, v, tags, line)?;
+            }
+            "la" => {
+                want(2)?;
+                let rd = self.reg(o(0), line)?;
+                let addr = match o(1) {
+                    Some(Operand::Sym(name, off)) => self.sym(name, *off, line)? as i64,
+                    Some(Operand::Imm(v)) => *v,
+                    other => {
+                        return Err(err(line, AsmErrorKind::BadOperands(format!(
+                            "la expects a symbol, found {other:?}"
+                        ))))
+                    }
+                };
+                // Fixed two-instruction expansion so pass-1 sizing is exact.
+                let hi = addr >> 12;
+                let lo = (addr & 0xfff) as i32;
+                self.push(Op::Lui { rt: rd, imm: hi as i32 });
+                self.push_tagged(Op::Ori { rt: rd, rs: rd, imm: lo }, tags);
+            }
+            "move" | "mov" => {
+                want(2)?;
+                let rd = self.reg(o(0), line)?;
+                let rs = self.reg(o(1), line)?;
+                self.push_tagged(Op::Addu { rd, rs, rt: Reg::ZERO }, tags);
+            }
+            "not" => {
+                want(2)?;
+                let rd = self.reg(o(0), line)?;
+                let rs = self.reg(o(1), line)?;
+                self.push_tagged(Op::Nor { rd, rs, rt: Reg::ZERO }, tags);
+            }
+            "neg" => {
+                want(2)?;
+                let rd = self.reg(o(0), line)?;
+                let rs = self.reg(o(1), line)?;
+                self.push_tagged(Op::Subu { rd, rs: Reg::ZERO, rt: rs }, tags);
+            }
+            other => {
+                return Err(err(line, AsmErrorKind::UnknownMnemonic(other.to_owned())));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn emit(
+    stmts: &[(usize, Stmt)],
+    layout: &Layout,
+    mode: AsmMode,
+) -> Result<Program, AsmError> {
+    let mut em = Emitter {
+        symbols: &layout.symbols,
+        text: Vec::new(),
+        mode,
+    };
+    let mut data: Vec<u8> = Vec::new();
+    let mut section = Section::Text;
+    let mut tasks: BTreeMap<u32, TaskDescriptor> = BTreeMap::new();
+    let mut pending_task: Option<(usize, Vec<TargetSpec>, Vec<Reg>)> = None;
+    let mut entry_sym: Option<String> = None;
+
+    for (line, stmt) in stmts {
+        match stmt {
+            Stmt::Label(_) => {}
+            Stmt::Section(s) => section = *s,
+            Stmt::Align(n) => {
+                if section == Section::Data {
+                    let a = 1usize << n;
+                    while !(DATA_BASE as usize + data.len()).is_multiple_of(a) {
+                        data.push(0);
+                    }
+                }
+            }
+            Stmt::Data(kind, items) => {
+                let a = kind.size() as usize;
+                while !(DATA_BASE as usize + data.len()).is_multiple_of(a) {
+                    data.push(0);
+                }
+                for item in items {
+                    let v: u64 = match item {
+                        DataItem::Imm(v) => *v as u64,
+                        DataItem::Sym(name, off) => {
+                            let base = layout.symbols.get(name).copied().ok_or_else(|| {
+                                err(*line, AsmErrorKind::UndefinedSymbol(name.clone()))
+                            })?;
+                            (base as i64 + off) as u64
+                        }
+                        DataItem::Fp(f) => f.to_bits(),
+                    };
+                    let n = kind.size() as usize;
+                    if *kind != DataKind::Double && *kind != DataKind::Dword {
+                        let limit = 1i128 << (8 * n);
+                        let sv = v as i64 as i128;
+                        if sv >= limit || sv < -(limit / 2) {
+                            return Err(err(*line, AsmErrorKind::OutOfRange(format!(
+                                "data item {sv} does not fit {n} bytes"
+                            ))));
+                        }
+                    }
+                    data.extend_from_slice(&v.to_le_bytes()[..n]);
+                }
+            }
+            Stmt::Space(n) => data.extend(std::iter::repeat_n(0u8, *n as usize)),
+            Stmt::Asciiz(bytes) => {
+                data.extend_from_slice(bytes);
+                data.push(0);
+            }
+            Stmt::Entry(name) => entry_sym = Some(name.clone()),
+            Stmt::Task { targets, create } => {
+                if mode == AsmMode::Scalar {
+                    continue;
+                }
+                if pending_task.is_some() {
+                    return Err(err(*line, AsmErrorKind::Directive(
+                        "two .task directives with no code between them".into(),
+                    )));
+                }
+                pending_task = Some((*line, targets.clone(), create.clone()));
+            }
+            Stmt::Ins { mnem, tags, ops } => {
+                let before = em.text.len();
+                let at = em.pc();
+                if let Some((tline, targets, create)) = pending_task.take() {
+                    let mut tt = Vec::with_capacity(targets.len());
+                    for t in &targets {
+                        tt.push(match t {
+                            TargetSpec::Ret => TaskTarget::ret(),
+                            TargetSpec::Halt => TaskTarget::halt(),
+                            TargetSpec::Label(name) => {
+                                let a = layout.symbols.get(name).copied().ok_or_else(|| {
+                                    err(tline, AsmErrorKind::UndefinedSymbol(name.clone()))
+                                })?;
+                                TaskTarget::addr(a)
+                            }
+                        });
+                    }
+                    let mask: RegMask = create.iter().copied().collect();
+                    tasks.insert(at, TaskDescriptor::new(at, mask, tt));
+                }
+                em.expand(mnem, *tags, ops, *line)?;
+                let emitted = em.text.len() - before;
+                debug_assert_eq!(
+                    emitted,
+                    size_in_words(mnem, ops, mode, *line)?,
+                    "size_in_words out of sync for `{mnem}` at line {line}"
+                );
+            }
+            Stmt::MsBegin | Stmt::MsEnd | Stmt::ScalarBegin | Stmt::ScalarEnd => unreachable!(),
+        }
+    }
+    if let Some((tline, ..)) = pending_task {
+        return Err(err(tline, AsmErrorKind::Directive(
+            ".task directive not followed by any instruction".into(),
+        )));
+    }
+
+    let mut program = Program::new();
+    program.text = em.text;
+    program.symbols = layout.symbols.clone();
+    program.tasks = tasks;
+    if !data.is_empty() {
+        program.data.push(DataSegment { base: DATA_BASE, bytes: data });
+    }
+    let entry_name = entry_sym.or_else(|| {
+        layout.symbols.contains_key("main").then(|| "main".to_owned())
+    });
+    program.entry = match entry_name {
+        Some(name) => *layout.symbols.get(&name).ok_or_else(|| {
+            err(0, AsmErrorKind::UndefinedSymbol(name))
+        })?,
+        None => TEXT_BASE,
+    };
+    Ok(program)
+}

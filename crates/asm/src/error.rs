@@ -1,0 +1,55 @@
+//! Assembler errors with source-line locations.
+
+use std::fmt;
+
+/// An assembly error, pinned to a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, kind }
+    }
+}
+
+/// The category of assembly failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Malformed token or statement.
+    Syntax(String),
+    /// Unknown instruction mnemonic.
+    UnknownMnemonic(String),
+    /// Wrong operand count or kinds for a mnemonic.
+    BadOperands(String),
+    /// Reference to an undefined label.
+    UndefinedSymbol(String),
+    /// The same label defined twice.
+    DuplicateSymbol(String),
+    /// An immediate or branch offset does not fit its field.
+    OutOfRange(String),
+    /// Misuse of a directive (`.task` with no following code, unbalanced
+    /// `.ms_begin`/`.ms_end`, ...).
+    Directive(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (label, msg) = match &self.kind {
+            AsmErrorKind::Syntax(m) => ("syntax error", m),
+            AsmErrorKind::UnknownMnemonic(m) => ("unknown mnemonic", m),
+            AsmErrorKind::BadOperands(m) => ("bad operands", m),
+            AsmErrorKind::UndefinedSymbol(m) => ("undefined symbol", m),
+            AsmErrorKind::DuplicateSymbol(m) => ("duplicate symbol", m),
+            AsmErrorKind::OutOfRange(m) => ("out of range", m),
+            AsmErrorKind::Directive(m) => ("directive error", m),
+        };
+        write!(f, "line {}: {label}: {msg}", self.line)
+    }
+}
+
+impl std::error::Error for AsmError {}

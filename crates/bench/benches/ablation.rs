@@ -1,0 +1,18 @@
+//! Bench target for the design-space ablation (ring latency, prediction
+//! scheme, ARB-overflow policy) of DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ms_bench::{ablation, render_ablation};
+use ms_workloads::{by_name, Scale};
+
+fn bench(c: &mut Criterion) {
+    let w = by_name("Wc", Scale::Test).expect("workload");
+    println!("{}", render_ablation("Wc", &ablation(&w)));
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("wc_full_sweep", |b| b.iter(|| ablation(&w).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Component micro-benchmarks: ARB operations, task prediction, ring
+//! stepping, assembly, and raw simulator throughput — the building
+//! blocks whose costs determine harness run time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ms_asm::{assemble, AsmMode};
+use ms_memsys::{Arb, Memory};
+use ms_predictor::TaskPredictor;
+use ms_workloads::{by_name, Scale};
+use multiscalar::{Processor, SimConfig};
+
+fn arb_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arb");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("store_load_pair", |b| {
+        let mut arb = Arb::new(8, 16, 256);
+        let mem = Memory::new();
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(8) & 0xffff;
+            arb.store(0, addr, 4, 42, 4).unwrap();
+            let r = arb.load(1, addr, 4, &mem).unwrap();
+            arb.free_stage(0);
+            arb.free_stage(1);
+            r.value
+        })
+    });
+    g.finish();
+}
+
+fn predictor_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("predict_update", |b| {
+        let mut p = TaskPredictor::new();
+        let mut pc = 0x1000u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0xfffc;
+            let t = p.predict(pc, 4);
+            p.update(pc, (t + 1) % 4);
+            t
+        })
+    });
+    g.finish();
+}
+
+fn assembler(c: &mut Criterion) {
+    let w = by_name("Example", Scale::Test).expect("workload");
+    let mut g = c.benchmark_group("assembler");
+    g.sample_size(20);
+    g.bench_function("figure3_source", |b| {
+        b.iter(|| assemble(&w.source, AsmMode::Multiscalar).unwrap().text.len())
+    });
+    g.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let w = by_name("Wc", Scale::Test).expect("workload");
+    let prog = w.assemble(AsmMode::Multiscalar).expect("assemble");
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("wc_8unit_run", |b| {
+        b.iter(|| {
+            let mut p = Processor::new(prog.clone(), SimConfig::multiscalar(8)).unwrap();
+            p.run().unwrap().cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, arb_ops, predictor_ops, assembler, simulator_throughput);
+criterion_main!(benches);

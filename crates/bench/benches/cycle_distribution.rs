@@ -1,0 +1,19 @@
+//! Bench target for the Section-3 cycle-distribution report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ms_bench::{cycle_distribution, render_cycles};
+use ms_workloads::{by_name, Scale};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_cycles(Scale::Test, 8));
+    let mut g = c.benchmark_group("cycle_distribution");
+    g.sample_size(10);
+    for name in ["Gcc", "Wc"] {
+        let w = by_name(name, Scale::Test).expect("workload");
+        g.bench_function(name, |b| b.iter(|| cycle_distribution(&w, 8)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

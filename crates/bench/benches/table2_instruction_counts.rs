@@ -1,0 +1,21 @@
+//! Bench target for Table 2: dynamic instruction counts of the scalar
+//! vs. multiscalar binaries. Prints the table (test scale) once, then
+//! times the dual-binary run for representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ms_bench::{render_table2, table2, verify_counts};
+use ms_workloads::{by_name, Scale};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_table2(&table2(Scale::Test)));
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for name in ["Wc", "Example", "Gcc"] {
+        let w = by_name(name, Scale::Test).expect("workload");
+        g.bench_function(name, |b| b.iter(|| verify_counts(&w)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! cargo run --release -p ms-bench --bin tables -- [all|table1|table2|table3|table4|cycles] [--test-scale]
+//! ```
+
+use ms_bench::{
+    ablation, evaluate_suite, render_ablation, render_cycles, render_scaling, render_table2,
+    render_table34, table1, table2,
+};
+use ms_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Full
+    };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("table1") || run("config") {
+        println!("{}", table1());
+    }
+    if run("table2") {
+        println!("{}", render_table2(&table2(scale)));
+    }
+    if run("table3") {
+        let rows = evaluate_suite(false, scale);
+        println!("{}", render_table34(&rows, false));
+    }
+    if run("table4") {
+        let rows = evaluate_suite(true, scale);
+        println!("{}", render_table34(&rows, true));
+    }
+    if run("cycles") {
+        println!("{}", render_cycles(scale, 8));
+    }
+    if run("scaling") {
+        println!("{}", render_scaling(scale));
+    }
+    if run("ablation") {
+        for name in ["Example", "Wc", "Compress"] {
+            let w = ms_workloads::by_name(name, scale).expect("workload");
+            println!("{}", render_ablation(name, &ablation(&w)));
+        }
+    }
+    if !["all", "table1", "config", "table2", "table3", "table4", "cycles", "ablation", "scaling"].contains(&what) {
+        eprintln!("unknown selector `{what}`; use all|table1|table2|table3|table4|cycles|ablation|scaling");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,58 @@
+//! `mscheck` — assemble a multiscalar source file and statically verify
+//! its task annotations.
+//!
+//! ```text
+//! mscheck program.s            # check annotations
+//! mscheck --list program.s     # also print the annotated listing
+//! ```
+//!
+//! Exit status: 0 if no errors, 1 on annotation errors, 2 on usage or
+//! assembly failure.
+
+use ms_asm::{assemble, AsmMode};
+use ms_cfg::{check_program, Severity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let list = args.iter().any(|a| a == "--list");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: mscheck [--list] <program.s>");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mscheck: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let prog = match assemble(&src, AsmMode::Multiscalar) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mscheck: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if list {
+        println!("{}", prog.listing());
+    }
+    let report = check_program(&prog);
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let errors = report.of_severity(Severity::Error).count();
+    let warnings = report.of_severity(Severity::Warning).count();
+    println!(
+        "{}: {} tasks, {} errors, {} warnings",
+        path,
+        report.tasks.len(),
+        errors,
+        warnings
+    );
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

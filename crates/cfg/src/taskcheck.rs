@@ -1,0 +1,358 @@
+//! Task-region discovery and annotation checking.
+
+use crate::summary::{branch_target, summarize_functions, FnSummary};
+use ms_isa::{Op, Program, Reg, RegMask, StopCond, TargetKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (e.g. reliance on end-of-task auto-release).
+    Info,
+    /// Suspicious but not provably wrong (e.g. unverifiable indirect
+    /// control).
+    Warning,
+    /// The annotation is inconsistent with the code; the program will
+    /// misbehave or fault at run time.
+    Error,
+}
+
+/// One finding of the checker.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// The task the finding belongs to, if any.
+    pub task: Option<u32>,
+    /// The program counter of the offending instruction, if any.
+    pub pc: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        };
+        write!(f, "{sev}")?;
+        if let Some(t) = self.task {
+            write!(f, " [task {t:#x}]")?;
+        }
+        if let Some(pc) = self.pc {
+            write!(f, " at {pc:#x}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A statically discovered task exit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StaticExit {
+    /// Exit to a static address.
+    Addr(u32),
+    /// Exit through `jr $31` (sequencer return-address stack).
+    Return,
+    /// Program end.
+    Halt,
+    /// Register-indirect exit that cannot be verified statically.
+    Unverifiable(u32),
+}
+
+/// Static analysis results for one task.
+#[derive(Clone, Debug)]
+pub struct TaskAnalysis {
+    /// Task entry address.
+    pub entry: u32,
+    /// Number of statically reachable instructions at task level
+    /// (excluding callee bodies).
+    pub reachable: usize,
+    /// Discovered exits (deduplicated).
+    pub exits: Vec<StaticExit>,
+    /// Registers forwarded anywhere in the task (including callees).
+    pub forwards: RegMask,
+    /// Registers released anywhere in the task (including callees).
+    pub releases: RegMask,
+}
+
+/// The checker's full output.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Per-task analyses, in entry order.
+    pub tasks: Vec<TaskAnalysis>,
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether any error-severity diagnostic was produced.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Diagnostics of a given severity.
+    pub fn of_severity(&self, s: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity == s)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} tasks analysed", self.tasks.len())?;
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Checker<'a> {
+    prog: &'a Program,
+    summaries: BTreeMap<u32, FnSummary>,
+    diags: Vec<Diagnostic>,
+}
+
+impl Checker<'_> {
+    fn diag(&mut self, severity: Severity, task: u32, pc: Option<u32>, message: String) {
+        self.diags.push(Diagnostic { severity, task: Some(task), pc, message });
+    }
+
+    fn check_task(&mut self, entry: u32) -> TaskAnalysis {
+        let desc = self.prog.task_at(entry).expect("caller verified").clone();
+        let mut exits: BTreeSet<StaticExit> = BTreeSet::new();
+        let mut forwards = RegMask::EMPTY;
+        let mut releases = RegMask::EMPTY;
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        let mut work = VecDeque::from([entry]);
+
+        while let Some(pc) = work.pop_front() {
+            if !seen.insert(pc) {
+                continue;
+            }
+            if pc != entry && self.prog.task_at(pc).is_some() {
+                self.diag(
+                    Severity::Error,
+                    entry,
+                    Some(pc),
+                    format!("control falls through into the task at {pc:#x} without a stop bit"),
+                );
+                continue;
+            }
+            let Some(instr) = self.prog.instr_at(pc) else {
+                self.diag(
+                    Severity::Error,
+                    entry,
+                    Some(pc),
+                    "control runs off the end of the text segment".into(),
+                );
+                continue;
+            };
+            if let Some(d) = instr.op.def() {
+                if instr.tags.forward {
+                    forwards.insert(d);
+                }
+            }
+            if let Op::Release { regs } = instr.op {
+                releases = releases.union(regs.to_mask());
+            }
+
+            // Halt ends the program regardless of tags.
+            if matches!(instr.op, Op::Halt) {
+                exits.insert(StaticExit::Halt);
+                continue;
+            }
+
+            let is_branch = instr.op.is_branch();
+            match instr.tags.stop {
+                StopCond::Always => {
+                    match instr.op {
+                        Op::J { target } | Op::Jal { target } => {
+                            exits.insert(StaticExit::Addr(target));
+                        }
+                        Op::Jr { rs } => {
+                            if rs == Reg::RA {
+                                exits.insert(StaticExit::Return);
+                            } else {
+                                exits.insert(StaticExit::Unverifiable(pc));
+                            }
+                        }
+                        Op::Jalr { .. } => {
+                            exits.insert(StaticExit::Unverifiable(pc));
+                        }
+                        ref op if op.is_branch() => {
+                            if let Some(t) = branch_target(op, pc) {
+                                exits.insert(StaticExit::Addr(t));
+                            }
+                            exits.insert(StaticExit::Addr(pc + 4));
+                        }
+                        _ => {
+                            exits.insert(StaticExit::Addr(pc + 4));
+                        }
+                    }
+                    continue; // the path ends at a stop-always
+                }
+                StopCond::IfTaken if is_branch => {
+                    if let Some(t) = branch_target(&instr.op, pc) {
+                        exits.insert(StaticExit::Addr(t));
+                    }
+                    work.push_back(pc + 4); // not-taken continues the task
+                    continue;
+                }
+                StopCond::IfNotTaken if is_branch => {
+                    exits.insert(StaticExit::Addr(pc + 4));
+                    if let Some(t) = branch_target(&instr.op, pc) {
+                        work.push_back(t); // taken continues the task
+                    }
+                    continue;
+                }
+                StopCond::IfTaken | StopCond::IfNotTaken => {
+                    self.diag(
+                        Severity::Warning,
+                        entry,
+                        Some(pc),
+                        "conditional stop bit on a non-branch instruction".into(),
+                    );
+                }
+                StopCond::None => {}
+            }
+
+            match instr.op {
+                Op::J { target } => work.push_back(target),
+                Op::Jal { target } => {
+                    if let Some(sum) = self.summaries.get(&target).cloned() {
+                        forwards = forwards.union(sum.forwards);
+                        releases = releases.union(sum.releases);
+                        for stop in &sum.internal_stops {
+                            self.diag(
+                                Severity::Warning,
+                                entry,
+                                Some(*stop),
+                                format!(
+                                    "stop bit inside function {target:#x} called by this task"
+                                ),
+                            );
+                        }
+                        for &ij in &sum.indirect_jumps {
+                            self.diag(
+                                Severity::Warning,
+                                entry,
+                                Some(ij),
+                                "register-indirect control inside a called function cannot \
+                                 be verified statically"
+                                    .into(),
+                            );
+                        }
+                        if sum.returns {
+                            work.push_back(pc + 4);
+                        } else {
+                            self.diag(
+                                Severity::Warning,
+                                entry,
+                                Some(pc),
+                                format!("call to {target:#x} never returns statically"),
+                            );
+                        }
+                    } else {
+                        work.push_back(pc + 4);
+                    }
+                }
+                Op::Jr { .. } | Op::Jalr { .. } => {
+                    self.diag(
+                        Severity::Error,
+                        entry,
+                        Some(pc),
+                        "register-indirect jump at task level without a stop bit \
+                         (control would leave the task unmarked)"
+                            .into(),
+                    );
+                }
+                ref op if op.is_branch() => {
+                    work.push_back(pc + 4);
+                    if let Some(t) = branch_target(op, pc) {
+                        work.push_back(t);
+                    }
+                }
+                _ => work.push_back(pc + 4),
+            }
+        }
+
+        // Exit-vs-descriptor check.
+        for exit in &exits {
+            let ok = match exit {
+                StaticExit::Addr(a) => desc.target_index_for(*a).is_some(),
+                StaticExit::Return => {
+                    desc.targets.iter().any(|t| t.kind == TargetKind::Return)
+                }
+                StaticExit::Halt => desc.targets.iter().any(|t| t.kind == TargetKind::Halt),
+                StaticExit::Unverifiable(pc) => {
+                    self.diag(
+                        Severity::Warning,
+                        entry,
+                        Some(*pc),
+                        "register-indirect task exit cannot be verified statically".into(),
+                    );
+                    true
+                }
+            };
+            if !ok {
+                self.diag(
+                    Severity::Error,
+                    entry,
+                    None,
+                    format!("exit {exit:?} is not among its descriptor targets"),
+                );
+            }
+        }
+
+        // Create-mask checks.
+        let communicated = forwards.union(releases);
+        for r in communicated.difference(desc.create).iter() {
+            self.diag(
+                Severity::Error,
+                entry,
+                None,
+                format!("{r} is forwarded or released but missing from the create mask"),
+            );
+        }
+        let auto = desc.create.difference(communicated);
+        if !auto.is_empty() {
+            self.diag(
+                Severity::Info,
+                entry,
+                None,
+                format!(
+                    "create-mask registers {auto} have no forward bit or release on any \
+                     path; successors wait for end-of-task auto-release"
+                ),
+            );
+        }
+
+        TaskAnalysis {
+            entry,
+            reachable: seen.len(),
+            exits: exits.into_iter().collect(),
+            forwards,
+            releases,
+        }
+    }
+}
+
+/// Checks every task annotation in `prog` against its code.
+pub fn check_program(prog: &Program) -> Report {
+    let mut checker = Checker {
+        prog,
+        summaries: summarize_functions(prog),
+        diags: Vec::new(),
+    };
+    let mut tasks = Vec::new();
+    for &entry in prog.tasks.keys() {
+        tasks.push(checker.check_task(entry));
+    }
+    Report {
+        tasks,
+        diagnostics: checker.diags,
+    }
+}

@@ -1,0 +1,46 @@
+//! Design-space knobs for ablation studies.
+//!
+//! The paper discusses several design alternatives without evaluating
+//! them: static vs. dynamic task prediction (Section 2.3), squashing vs.
+//! stalling on ARB overflow (Section 2.3), and the ring as the register
+//! communication fabric (Section 2.1, with latency set by implementation
+//! technology). These knobs expose those alternatives so the bench
+//! harness can quantify them.
+
+/// How the sequencer predicts the successor of a task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// The paper's PAs two-level predictor (Section 5.1).
+    #[default]
+    Pas,
+    /// Static prediction: always the first descriptor target (the paper's
+    /// "static … prediction scheme" baseline).
+    StaticFirstTarget,
+    /// Predict whatever this task did last time (a 1-entry-per-task
+    /// last-outcome predictor).
+    LastOutcome,
+}
+
+/// What to do when a speculative task cannot allocate ARB space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArbFullPolicy {
+    /// "A less drastic alternative is to stall all processing units but
+    /// the head. As the head advances, entries are reclaimed and the
+    /// stall lifted." (The paper's preferred approach; our default.)
+    #[default]
+    Stall,
+    /// "A simple solution is to free ARB storage by squashing tasks.
+    /// This strategy guarantees space in the ARB and forward progress."
+    Squash,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_configuration() {
+        assert_eq!(PredictorKind::default(), PredictorKind::Pas);
+        assert_eq!(ArbFullPolicy::default(), ArbFullPolicy::Stall);
+    }
+}

@@ -1,0 +1,49 @@
+//! Simulation errors.
+
+use std::fmt;
+
+/// A fatal simulation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The sequencer needed a task descriptor at `pc` and found none —
+    /// the program's task annotation does not cover this control path.
+    NoDescriptor {
+        /// The uncovered entry address.
+        pc: u32,
+    },
+    /// A processing unit faulted (e.g. fetch outside the text segment).
+    Fault(String),
+    /// The run exceeded the configured cycle bound.
+    Timeout {
+        /// The bound that was hit.
+        cycles: u64,
+    },
+    /// The program is malformed (e.g. no instructions, bad entry).
+    BadProgram(String),
+    /// A task's actual exit address is not among its descriptor's targets
+    /// — the annotation is inconsistent with the code.
+    ExitNotInTargets {
+        /// The task entry.
+        task: u32,
+        /// Where it actually went.
+        exit: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoDescriptor { pc } => {
+                write!(f, "no task descriptor at {pc:#x}; the task annotation does not cover this path")
+            }
+            SimError::Fault(msg) => write!(f, "processing unit fault: {msg}"),
+            SimError::Timeout { cycles } => write!(f, "simulation exceeded {cycles} cycles"),
+            SimError::BadProgram(msg) => write!(f, "malformed program: {msg}"),
+            SimError::ExitNotInTargets { task, exit } => {
+                write!(f, "task at {task:#x} exited to {exit}, which is not among its descriptor targets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

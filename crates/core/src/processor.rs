@@ -1,0 +1,769 @@
+//! The multiscalar processor.
+//!
+//! Owns the circular queue of processing units, the sequencer (task
+//! prediction, descriptor fetch, assignment), the register-forwarding
+//! ring, the ARB and the shared memory system; orchestrates one cycle as:
+//!
+//! 1. ring hop (messages sent last cycle arrive),
+//! 2. delivery/propagation of arrivals,
+//! 3. unit execution (head → tail, so same-cycle memory references are
+//!    processed in task order),
+//! 4. collection of new ring sends,
+//! 5. squash processing — control mispredictions ("the exit point of the
+//!    immediately preceding task is known", Section 3.1.2) and ARB memory
+//!    violations; squashing a task squashes all its successors,
+//! 6. in-order retirement at the head (ARB drain to the data cache),
+//! 7. task assignment at the tail (predict successor, fetch descriptor,
+//!    install the predecessor's forwarded register view).
+
+use crate::ablation::{ArbFullPolicy, PredictorKind};
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::ring::{Ring, RingMsg};
+use crate::stats::RunStats;
+use ms_isa::{Program, Reg, RegMask, TargetKind, TaskDescriptor, NUM_REGS, STACK_TOP};
+use ms_memsys::{Arb, DataBanks, MemBus, Memory};
+use ms_pipeline::{ExitKind, MemPorts, ProcessingUnit};
+use ms_predictor::{DescriptorCache, ReturnAddressStack, TaskPredictor};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+struct TaskRecord {
+    order: u64,
+    unit: usize,
+    entry: u32,
+    /// Entered via sequencer prediction (vs. known actual successor).
+    by_prediction: bool,
+    ras_snap: (usize, usize),
+    /// Set when the task's stop resolves.
+    exit: Option<ExitKind>,
+    /// The Return-target RAS pop for this task's successor already
+    /// happened (at prediction time).
+    ras_popped: bool,
+    /// Successor check + predictor training performed.
+    validated: bool,
+    /// The speculative history shift made when this task was chosen:
+    /// `(predecessor entry, pre-shift history, chosen index)`.
+    hist: Option<(u32, u16, usize)>,
+}
+
+/// What the sequencer will assign next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pending {
+    /// Derive from the last task (predict, or use its resolved exit).
+    Unknown,
+    /// A concrete entry to assign.
+    Entry {
+        /// Task entry address.
+        pc: u32,
+        /// Whether the choice came from prediction (counted for accuracy).
+        by_prediction: bool,
+        /// `(predecessor entry, chosen target index)` — shifted into the
+        /// predictor history (speculatively) when the task is assigned.
+        choice: Option<(u32, usize)>,
+    },
+    /// The program is (speculatively or definitely) over.
+    Stop,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SquashCause {
+    Control,
+    Memory,
+    ArbFull,
+}
+
+/// The multiscalar processor simulator.
+///
+/// ```no_run
+/// use ms_asm::{assemble, AsmMode};
+/// use multiscalar::{Processor, SimConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = std::fs::read_to_string("program.s")?;
+/// let prog = assemble(&src, AsmMode::Multiscalar)?;
+/// let mut p = Processor::new(prog, SimConfig::multiscalar(8))?;
+/// let stats = p.run()?;
+/// println!("IPC {:.2}", stats.ipc());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Processor {
+    cfg: SimConfig,
+    prog: Program,
+    units: Vec<ProcessingUnit>,
+    mem: Memory,
+    bus: MemBus,
+    banks: DataBanks,
+    arb: Arb,
+    ring: Ring,
+    predictor: TaskPredictor,
+    ras: ReturnAddressStack,
+    desc_cache: DescriptorCache,
+
+    active: VecDeque<TaskRecord>,
+    next_unit: usize,
+    next_order: u64,
+    pending: Pending,
+    seq_ready_at: u64,
+    last_retired_unit: Option<usize>,
+    boot_vals: [u64; NUM_REGS],
+    halted: bool,
+    now: u64,
+    stats: RunStats,
+    retirement_log: Vec<Retirement>,
+    last_outcome: HashMap<u32, usize>,
+}
+
+/// One retired task, as recorded in [`Processor::retirement_log`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Retirement {
+    /// Cycle at which the task retired.
+    pub cycle: u64,
+    /// Task entry address.
+    pub entry: u32,
+    /// Processing unit that executed it.
+    pub unit: usize,
+    /// Instructions the task committed.
+    pub instructions: u64,
+}
+
+impl Processor {
+    /// Builds a processor for `prog` (a multiscalar-annotated binary).
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadProgram`] if the program has no text or no
+    /// task descriptor at its entry point.
+    pub fn new(prog: Program, cfg: SimConfig) -> Result<Processor, SimError> {
+        if prog.text.is_empty() {
+            return Err(SimError::BadProgram("empty text segment".into()));
+        }
+        if prog.task_at(prog.entry).is_none() {
+            return Err(SimError::BadProgram(format!(
+                "no task descriptor at entry {:#x}",
+                prog.entry
+            )));
+        }
+        let mut mem = Memory::new();
+        for seg in &prog.data {
+            mem.write_slice(seg.base, &seg.bytes);
+        }
+        let mut boot_vals = [0u64; NUM_REGS];
+        boot_vals[Reg::SP.index()] = STACK_TOP as u64;
+        let units = (0..cfg.units)
+            .map(|i| ProcessingUnit::new(i, cfg.unit_config()))
+            .collect();
+        let entry = prog.entry;
+        Ok(Processor {
+            units,
+            mem,
+            bus: MemBus::new(cfg.bus),
+            banks: DataBanks::new(cfg.banks),
+            arb: Arb::new(cfg.units, cfg.banks.nbanks, cfg.arb_capacity),
+            ring: Ring::new(
+                cfg.units,
+                cfg.ring_width.unwrap_or(cfg.issue_width),
+                cfg.ring_hop_latency,
+            ),
+            predictor: TaskPredictor::new(),
+            ras: ReturnAddressStack::new(64),
+            desc_cache: DescriptorCache::new(1024),
+            active: VecDeque::new(),
+            next_unit: 0,
+            next_order: 0,
+            pending: Pending::Entry { pc: entry, by_prediction: false, choice: None },
+            seq_ready_at: 0,
+            last_retired_unit: None,
+            boot_vals,
+            halted: false,
+            now: 0,
+            stats: RunStats::default(),
+            retirement_log: Vec::new(),
+            last_outcome: HashMap::new(),
+            prog,
+            cfg,
+        })
+    }
+
+    /// Writes raw bytes into simulated memory (workload inputs), before or
+    /// between runs.
+    pub fn write_mem(&mut self, addr: u32, bytes: &[u8]) {
+        self.mem.write_slice(addr, bytes);
+    }
+
+    /// The architectural memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Architectural register values as of the last retired task
+    /// (`None` before any retirement). Only registers that are live
+    /// across task boundaries are meaningful — dead values need not be
+    /// communicated (Section 2.2).
+    pub fn final_regs(&self) -> Option<[u64; NUM_REGS]> {
+        self.last_retired_unit.map(|u| *self.units[u].fwd_view().0)
+    }
+
+    /// Current cycle.
+    pub fn cycles(&self) -> u64 {
+        self.now
+    }
+
+    /// Every retired task, in retirement (sequential) order — the record
+    /// of the sequencer's walk through the program CFG.
+    pub fn retirement_log(&self) -> &[Retirement] {
+        &self.retirement_log
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    /// Propagates unit faults, annotation errors and the cycle bound.
+    pub fn run(&mut self) -> Result<RunStats, SimError> {
+        while !(self.halted && self.active.is_empty()) {
+            if self.now >= self.cfg.max_cycles {
+                return Err(SimError::Timeout { cycles: self.cfg.max_cycles });
+            }
+            self.step()?;
+        }
+        self.finalize_stats();
+        Ok(self.stats.clone())
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.now;
+        self.stats.arb = self.arb.stats();
+        self.stats.dcache = self.banks.stats();
+        self.stats.bus = self.bus.stats();
+        self.stats.descriptor_cache = self.desc_cache.stats();
+        let mut ic = ms_memsys::CacheStats::default();
+        for u in &self.units {
+            ic.accesses += u.icache_stats().accesses;
+            ic.misses += u.icache_stats().misses;
+        }
+        self.stats.icache = ic;
+        self.stats.predictions = self.predictor.stats().predictions;
+        self.stats.correct_predictions = self.predictor.stats().correct;
+    }
+
+    /// Order of the active task on `unit`, if any.
+    fn unit_order(&self, unit: usize) -> Option<u64> {
+        self.active.iter().find(|r| r.unit == unit).map(|r| r.order)
+    }
+
+    /// A one-line summary of sequencer/task state for debugging.
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "pending={:?} active=[", self.pending);
+        for r in &self.active {
+            let u = &self.units[r.unit];
+            let _ = write!(
+                s,
+                "{{#{} u{} @{:#x} exit={:?} val={} complete={} awaiting={} fwd21={}}} ",
+                r.order,
+                r.unit,
+                r.entry,
+                r.exit,
+                r.validated,
+                u.is_complete(self.now),
+                u.awaiting_regs(),
+                u.fwd_view().1.contains(ms_isa::Reg::int(21)),
+            );
+        }
+        let _ = write!(s, "] halted={} ring={} seq_ready={} sq={}c+{}m", self.halted, self.ring.in_flight(), self.seq_ready_at, self.stats.control_squashes, self.stats.memory_squashes);
+        s
+    }
+
+    /// Advances the simulation one cycle.
+    ///
+    /// # Errors
+    /// See [`Processor::run`].
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let now = self.now;
+        let n = self.cfg.units;
+
+        // 1-2. Ring hop and delivery. A message travels forward until it
+        // reaches (a) an older or equal task — it has wrapped all the way
+        // around, or (b) the newest assigned task — every future task will
+        // snapshot that unit's forwarded view, so the value need travel no
+        // further. Idle units pass messages through (their successors may
+        // hold later tasks that still need the value).
+        let newest_order = self.active.back().map(|r| r.order);
+        let trace = std::env::var_os("MS_TRACE").is_some();
+        let arrivals = self.ring.step(now);
+        for (dest, msg) in arrivals {
+            debug_assert!(msg.hops <= 4 * n, "ring message circulating: {msg:?}");
+            match self.unit_order(dest) {
+                Some(order) if order > msg.sender_order => {
+                    let propagate = self.units[dest].receive(msg.reg, msg.val, now);
+                    if trace {
+                        eprintln!(
+                            "[{now}] ring: {} -> u{dest} (order {order}) deliver prop={propagate} {msg:?}",
+                            msg.reg
+                        );
+                    }
+                    if propagate && Some(order) != newest_order {
+                        self.ring.send(dest, msg, now);
+                    }
+                }
+                Some(order) => {
+                    if trace {
+                        eprintln!("[{now}] ring: {} dies at u{dest} (order {order}) {msg:?}", msg.reg);
+                    }
+                } // wrapped to the sender or older tasks: dies
+                None => {
+                    if !self.active.is_empty() {
+                        self.ring.send(dest, msg, now); // pass through an idle unit
+                    } else if trace {
+                        eprintln!("[{now}] ring: {} dies at idle u{dest} {msg:?}", msg.reg);
+                    }
+                }
+            }
+        }
+
+        // 3. Execute, head to tail (deterministic task-order memory refs).
+        let mut violations: Vec<usize> = Vec::new();
+        let mut exits: Vec<(usize, ExitKind)> = Vec::new();
+        let mut arb_stalled: Vec<usize> = Vec::new();
+        let active_len = self.active.len();
+        for pos in 0..active_len {
+            let unit_idx = self.active[pos].unit;
+            let mut ports = MemPorts {
+                mem: &mut self.mem,
+                bus: &mut self.bus,
+                banks: &mut self.banks,
+                arb: Some(&mut self.arb),
+                stage: unit_idx,
+                active_ranks: active_len,
+            };
+            let out = self.units[unit_idx].tick(now, &self.prog, &mut ports);
+            if let Some(f) = self.units[unit_idx].fault() {
+                return Err(SimError::Fault(f.to_owned()));
+            }
+            violations.extend(out.violations);
+            if out.stall == Some(ms_pipeline::StallClass::ArbFull) && pos > 0 {
+                arb_stalled.push(pos);
+            }
+            if let Some(exit) = out.exit {
+                exits.push((pos, exit));
+            }
+        }
+        self.stats.breakdown.idle += (n - active_len) as u64;
+
+        // 4. Collect new ring sends.
+        for pos in 0..self.active.len() {
+            let rec_unit = self.active[pos].unit;
+            let rec_order = self.active[pos].order;
+            for (reg, val) in self.units[rec_unit].take_sends(now) {
+                self.ring.send(
+                    rec_unit,
+                    RingMsg { reg, val, sender_order: rec_order, hops: 0 },
+                    now,
+                );
+            }
+        }
+
+        // 5. Record exits, validate successors, process violations.
+        for &(pos, exit) in &exits {
+            self.active[pos].exit = Some(exit);
+        }
+        let mut squash: Option<(usize, Pending, SquashCause)> = None;
+        let consider = |req: (usize, Pending, SquashCause), slot: &mut Option<_>| {
+            let replace = match slot {
+                None => true,
+                Some((p, _, c)) => {
+                    req.0 < *p || (req.0 == *p && req.2 == SquashCause::Control && *c != SquashCause::Control)
+                }
+            };
+            if replace {
+                *slot = Some(req);
+            }
+        };
+        // Memory violations: squash the earliest violated task.
+        for v_unit in violations {
+            if let Some(pos) = self.active.iter().position(|r| r.unit == v_unit) {
+                let rec = &self.active[pos];
+                let redirect = Pending::Entry {
+                    pc: rec.entry,
+                    by_prediction: rec.by_prediction,
+                    choice: rec.hist.map(|(from, _, idx)| (from, idx)),
+                };
+                consider((pos, redirect, SquashCause::Memory), &mut squash);
+            }
+        }
+        // Control validation, in task order.
+        for pos in 0..self.active.len() {
+            if self.active[pos].exit.is_none() || self.active[pos].validated {
+                continue;
+            }
+            if let Some(req) = self.validate(pos)? {
+                consider(req, &mut squash);
+            }
+        }
+        // ARB-overflow policy: the paper's "simple solution is to free ARB
+        // storage by squashing tasks" (vs. the default stall).
+        if self.cfg.arb_full_policy == ArbFullPolicy::Squash {
+            for pos in arb_stalled {
+                if pos < self.active.len() {
+                    let rec = &self.active[pos];
+                    let redirect = Pending::Entry {
+                        pc: rec.entry,
+                        by_prediction: rec.by_prediction,
+                        choice: rec.hist.map(|(from, _, idx)| (from, idx)),
+                    };
+                    consider((pos, redirect, SquashCause::ArbFull), &mut squash);
+                }
+            }
+        } else {
+            let _ = arb_stalled;
+        }
+        if let Some((pos, redirect, cause)) = squash {
+            self.squash_from(pos, redirect, cause);
+        }
+
+        // 6. Retire at the head (one per cycle).
+        if let Some(head) = self.active.front() {
+            let u = head.unit;
+            if self.units[u].is_complete(now) && head.validated {
+                let head = self.active.pop_front().expect("head exists");
+                let lines = self.arb.drain_stage(u, &mut self.mem);
+                for line in lines {
+                    self.banks.drain_store(now, line, &mut self.bus);
+                }
+                let c = self.units[u].counters();
+                self.stats.instructions += c.instructions;
+                self.stats.tasks_retired += 1;
+                self.stats.breakdown.useful += c.busy_cycles;
+                self.stats.breakdown.no_comp_inter_task += c.inter_task_cycles;
+                self.stats.breakdown.no_comp_intra_task += c.intra_task_cycles;
+                self.stats.breakdown.no_comp_wait_retire += c.wait_retire_cycles;
+                self.stats.breakdown.no_comp_arb += c.arb_stall_cycles;
+                self.retirement_log.push(Retirement {
+                    cycle: now,
+                    entry: head.entry,
+                    unit: u,
+                    instructions: c.instructions,
+                });
+                self.units[u].retire(now);
+                self.last_retired_unit = Some(u);
+                match self.active.front() {
+                    Some(next) => self.arb.set_head(next.unit),
+                    None => self.arb.set_head(self.next_unit),
+                }
+                if head.exit == Some(ExitKind::Halt) {
+                    self.halted = true;
+                }
+            }
+        }
+
+        // 7. Assign at the tail.
+        if !self.halted {
+            self.assign_phase(now)?;
+        }
+
+        self.now += 1;
+        Ok(())
+    }
+
+    /// Validates the successor of the task at `pos`, training the
+    /// predictor and maintaining the RAS. Returns a squash request if the
+    /// successor on record is wrong.
+    fn validate(&mut self, pos: usize) -> Result<Option<(usize, Pending, SquashCause)>, SimError> {
+        let exit = self.active[pos].exit.expect("validate needs an exit");
+        let entry = self.active[pos].entry;
+        let desc = self
+            .prog
+            .task_at(entry)
+            .ok_or(SimError::NoDescriptor { pc: entry })?;
+        let actual_idx = actual_target_index(desc, exit).ok_or_else(|| {
+            SimError::ExitNotInTargets { task: entry, exit: format!("{exit:?}") }
+        })?;
+        // Train the pattern table at the history that preceded this
+        // outcome. If the successor is already assigned, its record holds
+        // the pre-shift history; otherwise no shift has happened yet and
+        // the current history is the right one.
+        let train_hist = match self.active.get(pos + 1).and_then(|s| s.hist) {
+            Some((from, prev, _)) if from == entry => prev,
+            _ => self.predictor.history(entry),
+        };
+        self.predictor.train(entry, train_hist, actual_idx);
+        self.last_outcome.insert(entry, actual_idx);
+        self.active[pos].validated = true;
+
+        // RAS bookkeeping at resolution.
+        match exit {
+            ExitKind::Call { ret, .. } => self.ras.push(ret),
+            ExitKind::Return(_) if !self.active[pos].ras_popped => {
+                let _ = self.ras.pop();
+                self.active[pos].ras_popped = true;
+            }
+            _ => {}
+        }
+
+        let actual_next = exit.next_pc();
+        if pos + 1 < self.active.len() {
+            // A successor is running: check it.
+            let succ = &self.active[pos + 1];
+            let correct = actual_next == Some(succ.entry);
+            if succ.by_prediction {
+                self.predictor.note_outcome(correct);
+            }
+            if !correct {
+                let redirect = match actual_next {
+                    Some(pc) => Pending::Entry {
+                        pc,
+                        by_prediction: false,
+                        choice: Some((entry, actual_idx)),
+                    },
+                    None => Pending::Stop,
+                };
+                return Ok(Some((pos + 1, redirect, SquashCause::Control)));
+            }
+        } else {
+            // No successor assigned yet: resolve the pending choice.
+            let resolved = match actual_next {
+                Some(pc) => Pending::Entry {
+                    pc,
+                    by_prediction: false,
+                    choice: Some((entry, actual_idx)),
+                },
+                None => Pending::Stop,
+            };
+            match self.pending {
+                Pending::Unknown => self.pending = resolved,
+                Pending::Entry { pc: e, by_prediction: by_pred, .. } => {
+                    let correct = actual_next == Some(e);
+                    if by_pred {
+                        self.predictor.note_outcome(correct);
+                    }
+                    self.pending = resolved;
+                }
+                Pending::Stop => {
+                    let correct = actual_next.is_none();
+                    self.predictor.note_outcome(correct);
+                    if actual_next.is_some() {
+                        self.pending = resolved;
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Squashes the task at `pos` and all its successors; the sequencer
+    /// resumes from `redirect`.
+    fn squash_from(&mut self, pos: usize, redirect: Pending, cause: SquashCause) {
+        debug_assert!(pos < self.active.len());
+        let cutoff = self.active[pos].order;
+        self.ras.restore(self.active[pos].ras_snap);
+        while self.active.len() > pos {
+            let rec = self.active.pop_back().expect("len > pos");
+            let c = self.units[rec.unit].counters();
+            self.stats.tasks_squashed += 1;
+            self.stats.squashed_instructions += c.instructions;
+            self.stats.breakdown.non_useful += c.total_cycles();
+            self.units[rec.unit].clear();
+            self.arb.free_stage(rec.unit);
+            // Undo the speculative history shift (newest first, so
+            // aliased first-level entries restore exactly).
+            if let Some((from, prev, _)) = rec.hist {
+                self.predictor.set_history(from, prev);
+            }
+        }
+        self.ring.discard_if(|m| m.sender_order >= cutoff);
+        match cause {
+            SquashCause::Control => self.stats.control_squashes += 1,
+            SquashCause::Memory => self.stats.memory_squashes += 1,
+            SquashCause::ArbFull => self.stats.arb_squashes += 1,
+        }
+        self.next_unit = match self.active.back() {
+            Some(last) => (last.unit + 1) % self.cfg.units,
+            None => match self.last_retired_unit {
+                Some(u) => (u + 1) % self.cfg.units,
+                None => 0,
+            },
+        };
+        if self.active.is_empty() {
+            self.arb.set_head(self.next_unit);
+        }
+        self.pending = redirect;
+        // Re-sequencing costs a cycle before the next assignment.
+        self.seq_ready_at = self.now + 1;
+    }
+
+    fn assign_phase(&mut self, now: u64) -> Result<(), SimError> {
+        if now < self.seq_ready_at || self.active.len() >= self.cfg.units {
+            return Ok(());
+        }
+        // Derive the next task if unknown.
+        if self.pending == Pending::Unknown {
+            let Some(last) = self.active.back() else {
+                // Nothing active and nothing pending: the last retired
+                // task's validation must have set pending; nothing to do.
+                return Ok(());
+            };
+            if last.exit.is_none() {
+                // Predict the successor of the last assigned task.
+                let desc = self
+                    .prog
+                    .task_at(last.entry)
+                    .ok_or(SimError::NoDescriptor { pc: last.entry })?;
+                let idx = match self.cfg.predictor {
+                    PredictorKind::Pas => self.predictor.predict(last.entry, desc.targets.len()),
+                    PredictorKind::StaticFirstTarget => 0,
+                    PredictorKind::LastOutcome => self
+                        .last_outcome
+                        .get(&last.entry)
+                        .copied()
+                        .filter(|&i| i < desc.targets.len())
+                        .unwrap_or(0),
+                };
+                let from = last.entry;
+                match desc.targets[idx].kind {
+                    TargetKind::Addr(a) => {
+                        self.pending = Pending::Entry {
+                            pc: a,
+                            by_prediction: true,
+                            choice: Some((from, idx)),
+                        }
+                    }
+                    TargetKind::Halt => self.pending = Pending::Stop,
+                    TargetKind::Return => {
+                        if let Some(pc) = self.ras.pop() {
+                            if self.prog.task_at(pc).is_some() {
+                                let last = self.active.back_mut().expect("checked");
+                                last.ras_popped = true;
+                                self.pending = Pending::Entry {
+                                    pc,
+                                    by_prediction: true,
+                                    choice: Some((from, idx)),
+                                };
+                            } else {
+                                // Bad speculative pop: undo and wait for
+                                // the actual exit.
+                                self.ras.push(pc);
+                                return Ok(());
+                            }
+                        } else {
+                            return Ok(()); // RAS empty: wait for actual
+                        }
+                    }
+                }
+            }
+            // If the exit is known but validation hasn't run yet (same
+            // cycle), wait: validation will set pending.
+        }
+        let Pending::Entry { pc: entry, by_prediction, choice } = self.pending else {
+            return Ok(());
+        };
+        let Some(desc) = self.prog.task_at(entry) else {
+            if by_prediction {
+                // A mispredicted path led outside the annotation; treat as
+                // an unpredictable successor and wait for the actual exit.
+                self.pending = Pending::Unknown;
+                return Ok(());
+            }
+            return Err(SimError::NoDescriptor { pc: entry });
+        };
+        let create = desc.create;
+        // Descriptor fetch: on a miss the descriptor travels the bus.
+        if !self.desc_cache.access(entry) {
+            self.seq_ready_at = self.bus.request(now, 4) + 1;
+            return Ok(());
+        }
+        let unit_idx = self.next_unit;
+        debug_assert!(!self.units[unit_idx].is_active(), "tail unit busy");
+
+        let (vals, known) = match self.active.back().map(|r| r.unit).or(self.last_retired_unit) {
+            Some(u) => {
+                let (v, k) = self.units[u].fwd_view();
+                (*v, k)
+            }
+            None => (self.boot_vals, RegMask::from_bits(!0)),
+        };
+        let awaiting = RegMask::from_bits(!known.bits());
+        if std::env::var_os("MS_TRACE").is_some() {
+            eprintln!(
+                "[{now}] assign: #{} -> u{unit_idx} @{entry:#x} awaiting={} (pred {:?})",
+                self.next_order,
+                awaiting.difference(RegMask::from_bits(1)),
+                self.active.back().map(|r| (r.order, r.unit)).or(self
+                    .last_retired_unit
+                    .map(|u| (u64::MAX, u))),
+            );
+        }
+        self.units[unit_idx].assign_task(entry, create, &vals, awaiting, now);
+
+        let order = self.next_order;
+        self.next_order += 1;
+        if self.active.is_empty() {
+            self.arb.set_head(unit_idx);
+        }
+        // Speculative history update: shift the chosen target index into
+        // the predecessor's history now, remembering the pre-shift value
+        // for squash repair.
+        let hist = choice.map(|(from, idx)| {
+            let prev = self.predictor.shift(from, idx);
+            (from, prev, idx)
+        });
+        self.active.push_back(TaskRecord {
+            order,
+            unit: unit_idx,
+            entry,
+            by_prediction,
+            ras_snap: self.ras.snapshot(),
+            exit: None,
+            ras_popped: false,
+            validated: false,
+            hist,
+        });
+        self.next_unit = (unit_idx + 1) % self.cfg.units;
+        self.pending = Pending::Unknown;
+        self.seq_ready_at = now + 1; // one assignment per cycle
+        Ok(())
+    }
+}
+
+/// Maps an actual task exit to the descriptor target index it matches.
+fn actual_target_index(desc: &TaskDescriptor, exit: ExitKind) -> Option<usize> {
+    match exit {
+        ExitKind::Halt => desc.targets.iter().position(|t| t.kind == TargetKind::Halt),
+        ExitKind::Return(pc) => desc
+            .targets
+            .iter()
+            .position(|t| t.kind == TargetKind::Return)
+            .or_else(|| desc.target_index_for(pc)),
+        ExitKind::Call { target, .. } => desc.target_index_for(target),
+        ExitKind::Jump(pc) | ExitKind::Fall(pc) => desc.target_index_for(pc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actual_index_maps_exits() {
+        use ms_isa::TaskTarget;
+        let desc = TaskDescriptor::new(
+            0x1000,
+            RegMask::EMPTY,
+            vec![TaskTarget::addr(0x1000), TaskTarget::ret(), TaskTarget::halt()],
+        );
+        assert_eq!(actual_target_index(&desc, ExitKind::Jump(0x1000)), Some(0));
+        assert_eq!(actual_target_index(&desc, ExitKind::Fall(0x1000)), Some(0));
+        assert_eq!(actual_target_index(&desc, ExitKind::Return(0x5555)), Some(1));
+        assert_eq!(actual_target_index(&desc, ExitKind::Halt), Some(2));
+        assert_eq!(actual_target_index(&desc, ExitKind::Jump(0x2000)), None);
+        assert_eq!(
+            actual_target_index(&desc, ExitKind::Call { target: 0x1000, ret: 0 }),
+            Some(0)
+        );
+    }
+}

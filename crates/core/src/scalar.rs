@@ -1,0 +1,120 @@
+//! The scalar baseline processor.
+//!
+//! "The speedups are for a multiscalar processor compared to a scalar
+//! processor, in which both use identical processing units" (Section 5.3).
+//! This runs one [`ProcessingUnit`] over the *scalar* binary (no task
+//! descriptors, no tag bits, no releases), with direct non-speculative
+//! memory (no ARB) and the paper's 1-cycle data-cache hit time.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::stats::RunStats;
+use ms_isa::{Program, Reg, RegMask, NUM_REGS, STACK_TOP};
+use ms_memsys::{DataBanks, MemBus, Memory};
+use ms_pipeline::{ExitKind, MemPorts, ProcessingUnit};
+
+/// The scalar baseline.
+pub struct ScalarProcessor {
+    cfg: SimConfig,
+    prog: Program,
+    unit: ProcessingUnit,
+    mem: Memory,
+    bus: MemBus,
+    banks: DataBanks,
+    now: u64,
+    done: bool,
+}
+
+impl ScalarProcessor {
+    /// Builds a scalar processor for `prog` (assembled in scalar mode).
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadProgram`] for an empty program.
+    pub fn new(prog: Program, cfg: SimConfig) -> Result<ScalarProcessor, SimError> {
+        if prog.text.is_empty() {
+            return Err(SimError::BadProgram("empty text segment".into()));
+        }
+        let mut mem = Memory::new();
+        for seg in &prog.data {
+            mem.write_slice(seg.base, &seg.bytes);
+        }
+        let mut unit = ProcessingUnit::new(0, cfg.unit_config());
+        let mut boot = [0u64; NUM_REGS];
+        boot[Reg::SP.index()] = STACK_TOP as u64;
+        unit.assign_task(prog.entry, RegMask::EMPTY, &boot, RegMask::EMPTY, 0);
+        Ok(ScalarProcessor {
+            unit,
+            mem,
+            bus: MemBus::new(cfg.bus),
+            banks: DataBanks::new(cfg.banks),
+            now: 0,
+            done: false,
+            prog,
+            cfg,
+        })
+    }
+
+    /// Writes raw bytes into simulated memory (workload inputs).
+    pub fn write_mem(&mut self, addr: u32, bytes: &[u8]) {
+        self.mem.write_slice(addr, bytes);
+    }
+
+    /// The architectural memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Reads a register (after a run, the final architectural value).
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.unit.reg(r)
+    }
+
+    /// Runs to the `halt` instruction.
+    ///
+    /// # Errors
+    /// Propagates unit faults and the cycle bound.
+    pub fn run(&mut self) -> Result<RunStats, SimError> {
+        assert!(!self.done, "scalar processor already ran");
+        let mut halted = false;
+        loop {
+            if self.now >= self.cfg.max_cycles {
+                return Err(SimError::Timeout { cycles: self.cfg.max_cycles });
+            }
+            let mut ports = MemPorts {
+                mem: &mut self.mem,
+                bus: &mut self.bus,
+                banks: &mut self.banks,
+                arb: None,
+                stage: 0,
+                active_ranks: 1,
+            };
+            let out = self.unit.tick(self.now, &self.prog, &mut ports);
+            if let Some(f) = self.unit.fault() {
+                return Err(SimError::Fault(f.to_owned()));
+            }
+            if out.exit == Some(ExitKind::Halt) {
+                halted = true;
+            }
+            if halted && self.unit.is_complete(self.now) {
+                break;
+            }
+            self.now += 1;
+        }
+        self.done = true;
+        let c = self.unit.counters();
+        let mut stats = RunStats {
+            cycles: self.now + 1,
+            instructions: c.instructions,
+            tasks_retired: 1,
+            ..RunStats::default()
+        };
+        stats.breakdown.useful = c.busy_cycles;
+        stats.breakdown.no_comp_inter_task = c.inter_task_cycles;
+        stats.breakdown.no_comp_intra_task = c.intra_task_cycles;
+        stats.breakdown.no_comp_wait_retire = c.wait_retire_cycles;
+        stats.dcache = self.banks.stats();
+        stats.icache = self.unit.icache_stats();
+        stats.bus = self.bus.stats();
+        Ok(stats)
+    }
+}

@@ -1,0 +1,49 @@
+//! # ms-isa — the multiscalar instruction set architecture
+//!
+//! A MIPS-like 64-bit RISC instruction set extended with the multiscalar
+//! annotations described in *Multiscalar Processors* (Sohi, Breach &
+//! Vijaykumar, ISCA 1995), Section 2.2:
+//!
+//! * **tag bits** on every instruction — a *forward* bit (the last writer of
+//!   a register forwards its result to successor tasks) and *stop* bits
+//!   (conditions under which the task completes),
+//! * a **`release`** instruction that forwards registers a task turned out
+//!   not to produce,
+//! * **task descriptors** carrying the entry point, the *create mask* (the
+//!   set of registers a task may produce) and the possible successor
+//!   targets used by the sequencer's control-flow prediction.
+//!
+//! The paper stresses that "the instruction set used to specify the task is
+//! of secondary importance" — any base ISA works once the annotations are
+//! attached. This crate therefore defines a small, clean RISC core
+//! ([`Op`]), the annotation types ([`TagBits`], [`RegMask`],
+//! [`TaskDescriptor`]), a binary encoding ([`encode`]/[`decode`]) and the
+//! executable [`Program`] image consumed by the simulators.
+//!
+//! ```
+//! use ms_isa::{Instr, Op, Reg};
+//!
+//! let i = Instr::new(Op::Addiu { rt: Reg::int(4), rs: Reg::int(4), imm: 16 })
+//!     .with_forward();
+//! assert!(i.tags.forward);
+//! assert_eq!(i.to_string(), "addiu!f $4, $4, 16");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod instr;
+mod op;
+mod program;
+mod reg;
+mod tags;
+mod task;
+
+pub use encode::{decode, encode, DecodeError, EncodeError};
+pub use instr::Instr;
+pub use op::{ExecClass, FpArithKind, FpCmpCond, FuClass, MemWidth, Op, Prec, RegList};
+pub use program::{DataSegment, Program, DATA_BASE, STACK_TOP, TEXT_BASE};
+pub use reg::{Reg, NUM_REGS};
+pub use tags::{RegMask, StopCond, TagBits};
+pub use task::{TargetKind, TaskDescriptor, TaskTarget, MAX_TARGETS};

@@ -1,0 +1,631 @@
+//! The operation set: a delay-slot-free MIPS-like RISC core.
+//!
+//! The paper's simulator "accepts annotated big endian MIPS instruction set
+//! binaries (without architected delay slots of any kind)"; this module
+//! defines the equivalent core. Branch offsets are in instructions,
+//! relative to the *following* instruction; jump targets are absolute byte
+//! addresses.
+
+use crate::reg::Reg;
+use crate::tags::RegMask;
+use std::fmt;
+
+/// Memory access width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    B,
+    /// 2 bytes (halfword).
+    H,
+    /// 4 bytes (word).
+    W,
+    /// 8 bytes (doubleword).
+    D,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// Floating-point precision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Prec {
+    /// Single precision (operates on the low 32 bits as an `f32`).
+    S,
+    /// Double precision (`f64`).
+    D,
+}
+
+impl Prec {
+    /// Assembly suffix (`"s"` or `"d"`).
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            Prec::S => "s",
+            Prec::D => "d",
+        }
+    }
+}
+
+/// Floating-point arithmetic operation kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpArithKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl FpArithKind {
+    const fn mnemonic(self) -> &'static str {
+        match self {
+            FpArithKind::Add => "add",
+            FpArithKind::Sub => "sub",
+            FpArithKind::Mul => "mul",
+            FpArithKind::Div => "div",
+        }
+    }
+}
+
+/// Floating-point comparison condition (result written to an integer
+/// register as 0/1, in place of MIPS condition flags).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpCmpCond {
+    /// Equal.
+    Eq,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+impl FpCmpCond {
+    const fn mnemonic(self) -> &'static str {
+        match self {
+            FpCmpCond::Eq => "eq",
+            FpCmpCond::Lt => "lt",
+            FpCmpCond::Le => "le",
+        }
+    }
+}
+
+/// A short inline list of registers (at most three), used for instruction
+/// source lists and `release` operands.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct RegList {
+    regs: [Option<Reg>; 3],
+    len: u8,
+}
+
+impl RegList {
+    /// The empty list.
+    pub const EMPTY: RegList = RegList {
+        regs: [None; 3],
+        len: 0,
+    };
+
+    /// Maximum capacity of the list.
+    pub const CAPACITY: usize = 3;
+
+    /// Builds a list from a slice.
+    ///
+    /// # Panics
+    /// Panics if `regs.len() > 3`.
+    pub fn from_slice(regs: &[Reg]) -> RegList {
+        assert!(regs.len() <= Self::CAPACITY, "RegList overflow");
+        let mut l = RegList::EMPTY;
+        for &r in regs {
+            l.push(r);
+        }
+        l
+    }
+
+    /// Appends a register.
+    ///
+    /// # Panics
+    /// Panics if the list is full.
+    pub fn push(&mut self, r: Reg) {
+        assert!((self.len as usize) < Self::CAPACITY, "RegList overflow");
+        self.regs[self.len as usize] = Some(r);
+        self.len += 1;
+    }
+
+    /// Number of registers in the list.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the registers.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs.iter().take(self.len as usize).map(|r| r.unwrap())
+    }
+
+    /// The registers as a [`RegMask`].
+    pub fn to_mask(&self) -> RegMask {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for RegList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Reg> for RegList {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> Self {
+        let mut l = RegList::EMPTY;
+        for r in iter {
+            l.push(r);
+        }
+        l
+    }
+}
+
+/// An operation with its operands.
+///
+/// Field conventions follow MIPS: `rd` destination, `rs`/`rt` sources for
+/// R-type; `rt` destination, `rs` source for I-type; `base`+`off` for
+/// memory operands. Branch offsets (`off`) count instructions relative to
+/// the instruction after the branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operand fields follow the MIPS naming convention described above
+pub enum Op {
+    // ---- integer register-register ----
+    Addu { rd: Reg, rs: Reg, rt: Reg },
+    Subu { rd: Reg, rs: Reg, rt: Reg },
+    And { rd: Reg, rs: Reg, rt: Reg },
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    Div { rd: Reg, rs: Reg, rt: Reg },
+    Rem { rd: Reg, rs: Reg, rt: Reg },
+
+    // ---- integer immediate ----
+    Addiu { rt: Reg, rs: Reg, imm: i32 },
+    Andi { rt: Reg, rs: Reg, imm: i32 },
+    Ori { rt: Reg, rs: Reg, imm: i32 },
+    Xori { rt: Reg, rs: Reg, imm: i32 },
+    Slti { rt: Reg, rs: Reg, imm: i32 },
+    Sltiu { rt: Reg, rs: Reg, imm: i32 },
+    Sll { rd: Reg, rt: Reg, sh: u8 },
+    Srl { rd: Reg, rt: Reg, sh: u8 },
+    Sra { rd: Reg, rt: Reg, sh: u8 },
+    /// `rt = sign_extend(imm18) << 12`
+    Lui { rt: Reg, imm: i32 },
+
+    // ---- memory ----
+    Load { width: MemWidth, signed: bool, rt: Reg, base: Reg, off: i32 },
+    Store { width: MemWidth, rt: Reg, base: Reg, off: i32 },
+
+    // ---- control ----
+    Beq { rs: Reg, rt: Reg, off: i32 },
+    Bne { rs: Reg, rt: Reg, off: i32 },
+    Blez { rs: Reg, off: i32 },
+    Bgtz { rs: Reg, off: i32 },
+    Bltz { rs: Reg, off: i32 },
+    Bgez { rs: Reg, off: i32 },
+    J { target: u32 },
+    Jal { target: u32 },
+    Jr { rs: Reg },
+    Jalr { rd: Reg, rs: Reg },
+
+    // ---- floating point ----
+    FpArith { kind: FpArithKind, prec: Prec, fd: Reg, fs: Reg, ft: Reg },
+    FpCmp { cond: FpCmpCond, prec: Prec, rd: Reg, fs: Reg, ft: Reg },
+    FpNeg { prec: Prec, fd: Reg, fs: Reg },
+    FpAbs { prec: Prec, fd: Reg, fs: Reg },
+    FpMov { fd: Reg, fs: Reg },
+    /// Convert word (integer register) to double (fp register).
+    CvtDW { fd: Reg, rs: Reg },
+    /// Convert double (fp register) to word (integer register), truncating.
+    CvtWD { rd: Reg, fs: Reg },
+    /// Move raw 64 bits from integer register `rt` to fp register `fs`.
+    Dmtc1 { fs: Reg, rt: Reg },
+    /// Move raw 64 bits from fp register `fs` to integer register `rt`.
+    Dmfc1 { rt: Reg, fs: Reg },
+
+    // ---- multiscalar / simulator control ----
+    /// Forward the current values of up to three registers to successor
+    /// tasks (paper Section 2.2: values a task "indicated it might produce"
+    /// but did not).
+    Release { regs: RegList },
+    /// Terminate the program.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Coarse functional-unit class; determines which unit executes the
+/// instruction (paper Section 5.1: simple integer, complex integer, FP,
+/// branch, memory units).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Simple integer ALU (1 or 2 per unit).
+    SimpleInt,
+    /// Complex integer (multiply/divide).
+    ComplexInt,
+    /// Floating point.
+    Fp,
+    /// Branch unit.
+    Branch,
+    /// Memory (address generation + cache port).
+    Mem,
+}
+
+/// Fine execution class; determines operation latency (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Integer add/sub/compare/move (1 cycle).
+    IntAlu,
+    /// Integer multiply (4 cycles).
+    IntMul,
+    /// Integer divide/remainder (12 cycles).
+    IntDiv,
+    /// Memory load (2 cycles address+issue, plus cache time).
+    Load,
+    /// Memory store (1 cycle, plus cache time).
+    Store,
+    /// Branch or jump (1 cycle).
+    Branch,
+    /// FP single add/sub (2 cycles).
+    FpAddS,
+    /// FP single multiply (4 cycles).
+    FpMulS,
+    /// FP single divide (12 cycles).
+    FpDivS,
+    /// FP double add/sub (2 cycles).
+    FpAddD,
+    /// FP double multiply (5 cycles).
+    FpMulD,
+    /// FP double divide (18 cycles).
+    FpDivD,
+}
+
+impl Op {
+    /// The coarse functional-unit class.
+    pub fn fu_class(&self) -> FuClass {
+        use Op::*;
+        match self {
+            Mul { .. } | Div { .. } | Rem { .. } => FuClass::ComplexInt,
+            Load { .. } | Store { .. } => FuClass::Mem,
+            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. }
+            | J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } => FuClass::Branch,
+            FpArith { .. } | FpCmp { .. } | FpNeg { .. } | FpAbs { .. } | FpMov { .. }
+            | CvtDW { .. } | CvtWD { .. } => FuClass::Fp,
+            _ => FuClass::SimpleInt,
+        }
+    }
+
+    /// The fine execution class (latency selector).
+    pub fn exec_class(&self) -> ExecClass {
+        use Op::*;
+        match self {
+            Mul { .. } => ExecClass::IntMul,
+            Div { .. } | Rem { .. } => ExecClass::IntDiv,
+            Load { .. } => ExecClass::Load,
+            Store { .. } => ExecClass::Store,
+            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. }
+            | J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } => ExecClass::Branch,
+            FpArith { kind, prec, .. } => match (kind, prec) {
+                (FpArithKind::Add | FpArithKind::Sub, Prec::S) => ExecClass::FpAddS,
+                (FpArithKind::Mul, Prec::S) => ExecClass::FpMulS,
+                (FpArithKind::Div, Prec::S) => ExecClass::FpDivS,
+                (FpArithKind::Add | FpArithKind::Sub, Prec::D) => ExecClass::FpAddD,
+                (FpArithKind::Mul, Prec::D) => ExecClass::FpMulD,
+                (FpArithKind::Div, Prec::D) => ExecClass::FpDivD,
+            },
+            FpCmp { prec, .. } | FpNeg { prec, .. } | FpAbs { prec, .. } => match prec {
+                Prec::S => ExecClass::FpAddS,
+                Prec::D => ExecClass::FpAddD,
+            },
+            FpMov { .. } | CvtDW { .. } | CvtWD { .. } => ExecClass::FpAddD,
+            _ => ExecClass::IntAlu,
+        }
+    }
+
+    /// The destination register, if any. Writes to `$0` are reported here
+    /// but have no architectural effect.
+    pub fn def(&self) -> Option<Reg> {
+        use Op::*;
+        match *self {
+            Addu { rd, .. } | Subu { rd, .. } | And { rd, .. } | Or { rd, .. }
+            | Xor { rd, .. } | Nor { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. }
+            | Srav { rd, .. } | Slt { rd, .. } | Sltu { rd, .. } | Mul { rd, .. }
+            | Div { rd, .. } | Rem { rd, .. } | Sll { rd, .. } | Srl { rd, .. }
+            | Sra { rd, .. } | Jalr { rd, .. } => Some(rd),
+            Addiu { rt, .. } | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. }
+            | Slti { rt, .. } | Sltiu { rt, .. } | Lui { rt, .. } => Some(rt),
+            Load { rt, .. } => Some(rt),
+            Jal { .. } => Some(Reg::RA),
+            FpArith { fd, .. } | FpNeg { fd, .. } | FpAbs { fd, .. } | FpMov { fd, .. }
+            | CvtDW { fd, .. } => Some(fd),
+            FpCmp { rd, .. } | CvtWD { rd, .. } => Some(rd),
+            Dmtc1 { fs, .. } => Some(fs),
+            Dmfc1 { rt, .. } => Some(rt),
+            _ => None,
+        }
+    }
+
+    /// The source registers.
+    pub fn uses(&self) -> RegList {
+        use Op::*;
+        match *self {
+            Addu { rs, rt, .. } | Subu { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. }
+            | Xor { rs, rt, .. } | Nor { rs, rt, .. } | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. } | Mul { rs, rt, .. } | Div { rs, rt, .. }
+            | Rem { rs, rt, .. } | Sllv { rs, rt, .. } | Srlv { rs, rt, .. }
+            | Srav { rs, rt, .. } => RegList::from_slice(&[rs, rt]),
+            Addiu { rs, .. } | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. }
+            | Slti { rs, .. } | Sltiu { rs, .. } => RegList::from_slice(&[rs]),
+            Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => RegList::from_slice(&[rt]),
+            Lui { .. } | J { .. } | Jal { .. } | Halt | Nop | Release { .. } => RegList::EMPTY,
+            Load { base, .. } => RegList::from_slice(&[base]),
+            Store { rt, base, .. } => RegList::from_slice(&[rt, base]),
+            Beq { rs, rt, .. } | Bne { rs, rt, .. } => RegList::from_slice(&[rs, rt]),
+            Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => {
+                RegList::from_slice(&[rs])
+            }
+            Jr { rs } | Jalr { rs, .. } => RegList::from_slice(&[rs]),
+            FpArith { fs, ft, .. } | FpCmp { fs, ft, .. } => RegList::from_slice(&[fs, ft]),
+            FpNeg { fs, .. } | FpAbs { fs, .. } | FpMov { fs, .. } | CvtWD { fs, .. }
+            | Dmfc1 { fs, .. } => RegList::from_slice(&[fs]),
+            CvtDW { rs, .. } => RegList::from_slice(&[rs]),
+            Dmtc1 { rt, .. } => RegList::from_slice(&[rt]),
+        }
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Op::Beq { .. }
+                | Op::Bne { .. }
+                | Op::Blez { .. }
+                | Op::Bgtz { .. }
+                | Op::Bltz { .. }
+                | Op::Bgez { .. }
+        )
+    }
+
+    /// Whether this is an unconditional jump (including calls and returns).
+    pub fn is_jump(&self) -> bool {
+        matches!(self, Op::J { .. } | Op::Jal { .. } | Op::Jr { .. } | Op::Jalr { .. })
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        self.is_branch() || self.is_jump()
+    }
+
+    /// Whether this is a memory load.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Op::Load { .. })
+    }
+
+    /// Whether this is a memory store.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Op::Store { .. })
+    }
+
+    /// Mnemonic without tag suffixes.
+    pub fn mnemonic(&self) -> String {
+        use Op::*;
+        match self {
+            Addu { .. } => "addu".into(),
+            Subu { .. } => "subu".into(),
+            And { .. } => "and".into(),
+            Or { .. } => "or".into(),
+            Xor { .. } => "xor".into(),
+            Nor { .. } => "nor".into(),
+            Sllv { .. } => "sllv".into(),
+            Srlv { .. } => "srlv".into(),
+            Srav { .. } => "srav".into(),
+            Slt { .. } => "slt".into(),
+            Sltu { .. } => "sltu".into(),
+            Mul { .. } => "mul".into(),
+            Div { .. } => "div".into(),
+            Rem { .. } => "rem".into(),
+            Addiu { .. } => "addiu".into(),
+            Andi { .. } => "andi".into(),
+            Ori { .. } => "ori".into(),
+            Xori { .. } => "xori".into(),
+            Slti { .. } => "slti".into(),
+            Sltiu { .. } => "sltiu".into(),
+            Sll { .. } => "sll".into(),
+            Srl { .. } => "srl".into(),
+            Sra { .. } => "sra".into(),
+            Lui { .. } => "lui".into(),
+            Load { width, signed, .. } => {
+                let base = match width {
+                    MemWidth::B => "lb",
+                    MemWidth::H => "lh",
+                    MemWidth::W => "lw",
+                    MemWidth::D => "ld",
+                };
+                if *signed || *width == MemWidth::D {
+                    base.into()
+                } else {
+                    format!("{base}u")
+                }
+            }
+            Store { width, .. } => match width {
+                MemWidth::B => "sb".into(),
+                MemWidth::H => "sh".into(),
+                MemWidth::W => "sw".into(),
+                MemWidth::D => "sd".into(),
+            },
+            Beq { .. } => "beq".into(),
+            Bne { .. } => "bne".into(),
+            Blez { .. } => "blez".into(),
+            Bgtz { .. } => "bgtz".into(),
+            Bltz { .. } => "bltz".into(),
+            Bgez { .. } => "bgez".into(),
+            J { .. } => "j".into(),
+            Jal { .. } => "jal".into(),
+            Jr { .. } => "jr".into(),
+            Jalr { .. } => "jalr".into(),
+            FpArith { kind, prec, .. } => format!("{}.{}", kind.mnemonic(), prec.suffix()),
+            FpCmp { cond, prec, .. } => format!("c.{}.{}", cond.mnemonic(), prec.suffix()),
+            FpNeg { prec, .. } => format!("neg.{}", prec.suffix()),
+            FpAbs { prec, .. } => format!("abs.{}", prec.suffix()),
+            FpMov { .. } => "mov.d".into(),
+            CvtDW { .. } => "cvt.d.w".into(),
+            CvtWD { .. } => "cvt.w.d".into(),
+            Dmtc1 { .. } => "dmtc1".into(),
+            Dmfc1 { .. } => "dmfc1".into(),
+            Release { .. } => "release".into(),
+            Halt => "halt".into(),
+            Nop => "nop".into(),
+        }
+    }
+
+    /// Operand list rendered as assembly text (empty for `nop`/`halt`).
+    pub fn operands(&self) -> String {
+        use Op::*;
+        match *self {
+            Addu { rd, rs, rt } | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
+            | Xor { rd, rs, rt } | Nor { rd, rs, rt } | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt } | Mul { rd, rs, rt } | Div { rd, rs, rt }
+            | Rem { rd, rs, rt } => format!("{rd}, {rs}, {rt}"),
+            Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => {
+                format!("{rd}, {rt}, {rs}")
+            }
+            Addiu { rt, rs, imm } | Andi { rt, rs, imm } | Ori { rt, rs, imm }
+            | Xori { rt, rs, imm } | Slti { rt, rs, imm } | Sltiu { rt, rs, imm } => {
+                format!("{rt}, {rs}, {imm}")
+            }
+            Sll { rd, rt, sh } | Srl { rd, rt, sh } | Sra { rd, rt, sh } => {
+                format!("{rd}, {rt}, {sh}")
+            }
+            Lui { rt, imm } => format!("{rt}, {imm}"),
+            Load { rt, base, off, .. } | Store { rt, base, off, .. } => {
+                format!("{rt}, {off}({base})")
+            }
+            Beq { rs, rt, off } | Bne { rs, rt, off } => format!("{rs}, {rt}, {off:+}"),
+            Blez { rs, off } | Bgtz { rs, off } | Bltz { rs, off } | Bgez { rs, off } => {
+                format!("{rs}, {off:+}")
+            }
+            J { target } | Jal { target } => format!("{target:#x}"),
+            Jr { rs } => format!("{rs}"),
+            Jalr { rd, rs } => format!("{rd}, {rs}"),
+            FpArith { fd, fs, ft, .. } => format!("{fd}, {fs}, {ft}"),
+            FpCmp { rd, fs, ft, .. } => format!("{rd}, {fs}, {ft}"),
+            FpNeg { fd, fs, .. } | FpAbs { fd, fs, .. } | FpMov { fd, fs } => {
+                format!("{fd}, {fs}")
+            }
+            CvtDW { fd, rs } => format!("{fd}, {rs}"),
+            CvtWD { rd, fs } => format!("{rd}, {fs}"),
+            Dmtc1 { fs, rt } => format!("{fs}, {rt}"),
+            Dmfc1 { rt, fs } => format!("{rt}, {fs}"),
+            Release { regs } => {
+                let mut s = String::new();
+                for (i, r) in regs.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&r.to_string());
+                }
+                s
+            }
+            Halt | Nop => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n)
+    }
+
+    #[test]
+    fn def_and_uses_cover_formats() {
+        let add = Op::Addu { rd: r(3), rs: r(1), rt: r(2) };
+        assert_eq!(add.def(), Some(r(3)));
+        let u: Vec<Reg> = add.uses().iter().collect();
+        assert_eq!(u, vec![r(1), r(2)]);
+
+        let lw = Op::Load { width: MemWidth::W, signed: true, rt: r(8), base: r(17), off: 4 };
+        assert_eq!(lw.def(), Some(r(8)));
+        assert_eq!(lw.uses().iter().collect::<Vec<_>>(), vec![r(17)]);
+        assert!(lw.is_load());
+        assert_eq!(lw.fu_class(), FuClass::Mem);
+
+        let sw = Op::Store { width: MemWidth::W, rt: r(8), base: r(17), off: 4 };
+        assert_eq!(sw.def(), None);
+        assert_eq!(sw.uses().iter().collect::<Vec<_>>(), vec![r(8), r(17)]);
+
+        let jal = Op::Jal { target: 0x1000 };
+        assert_eq!(jal.def(), Some(Reg::RA));
+        assert!(jal.is_jump() && jal.is_control() && !jal.is_branch());
+    }
+
+    #[test]
+    fn exec_classes_match_table1() {
+        assert_eq!(Op::Mul { rd: r(1), rs: r(2), rt: r(3) }.exec_class(), ExecClass::IntMul);
+        assert_eq!(Op::Div { rd: r(1), rs: r(2), rt: r(3) }.exec_class(), ExecClass::IntDiv);
+        let fd = Op::FpArith {
+            kind: FpArithKind::Div,
+            prec: Prec::D,
+            fd: Reg::fp(0),
+            fs: Reg::fp(1),
+            ft: Reg::fp(2),
+        };
+        assert_eq!(fd.exec_class(), ExecClass::FpDivD);
+        assert_eq!(fd.fu_class(), FuClass::Fp);
+    }
+
+    #[test]
+    fn mnemonics_and_operands_render() {
+        let i = Op::Addiu { rt: r(20), rs: r(20), imm: 16 };
+        assert_eq!(i.mnemonic(), "addiu");
+        assert_eq!(i.operands(), "$20, $20, 16");
+        let l = Op::Load { width: MemWidth::B, signed: false, rt: r(2), base: r(3), off: -1 };
+        assert_eq!(l.mnemonic(), "lbu");
+        assert_eq!(l.operands(), "$2, -1($3)");
+        let rl = Op::Release { regs: RegList::from_slice(&[r(8), r(17)]) };
+        assert_eq!(rl.operands(), "$8, $17");
+    }
+
+    #[test]
+    fn reg_list_limits() {
+        let mut l = RegList::EMPTY;
+        assert!(l.is_empty());
+        l.push(r(1));
+        l.push(r(2));
+        l.push(r(3));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.to_mask().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "RegList overflow")]
+    fn reg_list_overflow_panics() {
+        RegList::from_slice(&[r(1), r(2), r(3), r(4)]);
+    }
+}

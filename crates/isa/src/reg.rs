@@ -1,0 +1,196 @@
+//! Architectural register names.
+//!
+//! The machine has a unified 64-entry register file: integer registers
+//! `$0`–`$31` (index 0–31, with `$0` hardwired to zero) and floating-point
+//! registers `$f0`–`$f31` (index 32–63). A single namespace keeps the
+//! multiscalar *create mask* a flat 64-bit vector, exactly one bit per
+//! architectural register (see [`crate::RegMask`]).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Total number of architectural registers (32 integer + 32 floating point).
+pub const NUM_REGS: usize = 64;
+
+/// An architectural register.
+///
+/// ```
+/// use ms_isa::Reg;
+/// let r = Reg::int(17);
+/// assert_eq!(r.to_string(), "$17");
+/// assert_eq!("$f2".parse::<Reg>().unwrap(), Reg::fp(2));
+/// assert_eq!("$sp".parse::<Reg>().unwrap(), Reg::int(29));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Integer register `$0`, hardwired to zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Stack pointer, `$29` by MIPS convention.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer, `$30`.
+    pub const FP: Reg = Reg(30);
+    /// Return-address register, `$31`.
+    pub const RA: Reg = Reg(31);
+
+    /// Integer register `$n`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub const fn int(n: u8) -> Reg {
+        assert!(n < 32, "integer register out of range");
+        Reg(n)
+    }
+
+    /// Floating-point register `$f n`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub const fn fp(n: u8) -> Reg {
+        assert!(n < 32, "fp register out of range");
+        Reg(32 + n)
+    }
+
+    /// Flat index into the unified 64-entry register file.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a register from its flat index, if in range.
+    pub const fn from_index(i: usize) -> Option<Reg> {
+        if i < NUM_REGS {
+            Some(Reg(i as u8))
+        } else {
+            None
+        }
+    }
+
+    /// Whether this is a floating-point register.
+    pub const fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// Whether this is the hardwired-zero integer register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 64 architectural registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "$f{}", self.0 - 32)
+        } else {
+            write!(f, "${}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a [`Reg`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+/// MIPS-convention symbolic names, in numeric order `$0`..`$31`.
+const INT_ALIASES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRegError { text: s.to_owned() };
+        let body = s.strip_prefix('$').ok_or_else(err)?;
+        if let Some(fnum) = body.strip_prefix('f') {
+            if let Ok(n) = fnum.parse::<u8>() {
+                if n < 32 {
+                    return Ok(Reg::fp(n));
+                }
+            }
+            // Fall through: `$fp` is the integer frame pointer.
+        }
+        if let Ok(n) = body.parse::<u8>() {
+            if n < 32 {
+                return Ok(Reg(n));
+            }
+            return Err(err());
+        }
+        INT_ALIASES
+            .iter()
+            .position(|&a| a == body)
+            .map(|i| Reg(i as u8))
+            .ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_indices_are_disjoint() {
+        assert_eq!(Reg::int(0).index(), 0);
+        assert_eq!(Reg::int(31).index(), 31);
+        assert_eq!(Reg::fp(0).index(), 32);
+        assert_eq!(Reg::fp(31).index(), 63);
+        assert!(!Reg::int(31).is_fp());
+        assert!(Reg::fp(0).is_fp());
+    }
+
+    #[test]
+    fn display_round_trips_via_parse() {
+        for r in Reg::all() {
+            let shown = r.to_string();
+            assert_eq!(shown.parse::<Reg>().unwrap(), r, "register {shown}");
+        }
+    }
+
+    #[test]
+    fn aliases_parse_to_conventional_numbers() {
+        assert_eq!("$zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("$sp".parse::<Reg>().unwrap(), Reg::int(29));
+        assert_eq!("$fp".parse::<Reg>().unwrap(), Reg::int(30));
+        assert_eq!("$ra".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("$t0".parse::<Reg>().unwrap(), Reg::int(8));
+        assert_eq!("$a0".parse::<Reg>().unwrap(), Reg::int(4));
+        assert_eq!("$v0".parse::<Reg>().unwrap(), Reg::int(2));
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        for bad in ["$32", "$f32", "17", "$fx", "$", "$-1", "$t10"] {
+            assert!(bad.parse::<Reg>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert_eq!(Reg::from_index(0), Some(Reg::ZERO));
+        assert_eq!(Reg::from_index(63), Some(Reg::fp(31)));
+        assert_eq!(Reg::from_index(64), None);
+    }
+}

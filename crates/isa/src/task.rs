@@ -1,0 +1,150 @@
+//! Task descriptors.
+//!
+//! Section 2.2: "The sequencer of a multiscalar processor requires
+//! information about the program control flow structure ... which tasks are
+//! possible successors of any given task". A [`TaskDescriptor`] packages
+//! the task entry point, its create mask, and up to [`MAX_TARGETS`]
+//! successor targets with their kind (the paper's "Targ Spec").
+
+use crate::tags::RegMask;
+use std::fmt;
+
+/// Maximum successor targets per task descriptor (the paper's predictor
+/// uses "4 targets per prediction").
+pub const MAX_TARGETS: usize = 4;
+
+/// How a successor target is resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TargetKind {
+    /// A static address in the program text (loop back-edge, fall-out
+    /// path, call entry, ...).
+    Addr(u32),
+    /// The task returns to its caller: the successor address is popped
+    /// from the sequencer's return address stack.
+    Return,
+    /// The program completes at the end of this task.
+    Halt,
+}
+
+/// One possible successor of a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TaskTarget {
+    /// How the target address is determined.
+    pub kind: TargetKind,
+}
+
+impl TaskTarget {
+    /// A static-address target.
+    pub fn addr(a: u32) -> TaskTarget {
+        TaskTarget {
+            kind: TargetKind::Addr(a),
+        }
+    }
+
+    /// A return target.
+    pub fn ret() -> TaskTarget {
+        TaskTarget {
+            kind: TargetKind::Return,
+        }
+    }
+
+    /// A program-exit target.
+    pub fn halt() -> TaskTarget {
+        TaskTarget {
+            kind: TargetKind::Halt,
+        }
+    }
+}
+
+/// A static task descriptor, as placed beside the program text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskDescriptor {
+    /// Address of the first instruction of the task.
+    pub entry: u32,
+    /// Registers the task may produce (conservative, per Section 2.2).
+    pub create: RegMask,
+    /// Possible successor tasks (at most [`MAX_TARGETS`]).
+    pub targets: Vec<TaskTarget>,
+}
+
+impl TaskDescriptor {
+    /// Creates a descriptor.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_TARGETS`] targets are supplied or if
+    /// `targets` is empty.
+    pub fn new(entry: u32, create: RegMask, targets: Vec<TaskTarget>) -> TaskDescriptor {
+        assert!(
+            !targets.is_empty() && targets.len() <= MAX_TARGETS,
+            "task descriptor must have 1..={MAX_TARGETS} targets"
+        );
+        TaskDescriptor {
+            entry,
+            create,
+            targets,
+        }
+    }
+
+    /// The index of `addr` among this descriptor's static targets, if any.
+    pub fn target_index_for(&self, addr: u32) -> Option<usize> {
+        self.targets
+            .iter()
+            .position(|t| matches!(t.kind, TargetKind::Addr(a) if a == addr))
+    }
+}
+
+impl fmt::Display for TaskDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task @{:#x} create={} targets=[", self.entry, self.create)?;
+        for (i, t) in self.targets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match t.kind {
+                TargetKind::Addr(a) => write!(f, "{a:#x}")?,
+                TargetKind::Return => write!(f, "ret")?,
+                TargetKind::Halt => write!(f, "halt")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn descriptor_finds_target_indices() {
+        let d = TaskDescriptor::new(
+            0x1000,
+            [Reg::int(20)].into_iter().collect(),
+            vec![TaskTarget::addr(0x1000), TaskTarget::addr(0x1040)],
+        );
+        assert_eq!(d.target_index_for(0x1000), Some(0));
+        assert_eq!(d.target_index_for(0x1040), Some(1));
+        assert_eq!(d.target_index_for(0x2000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets")]
+    fn too_many_targets_rejected() {
+        TaskDescriptor::new(
+            0,
+            RegMask::EMPTY,
+            vec![TaskTarget::halt(); MAX_TARGETS + 1],
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = TaskDescriptor::new(
+            0x1000,
+            [Reg::int(4)].into_iter().collect(),
+            vec![TaskTarget::addr(0x1000), TaskTarget::ret()],
+        );
+        let s = d.to_string();
+        assert!(s.contains("0x1000") && s.contains("$4") && s.contains("ret"), "{s}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Interleaved data-cache banks behind a crossbar.
+//!
+//! Paper Section 5.1: "A crossbar interconnects the units to twice as many
+//! interleaved data banks. Each data bank is configured as 8 kbytes of
+//! direct mapped data cache in 64 byte blocks … A data cache access
+//! returns 1 word in a hit time of 2 cycles and 1 cycle for multiscalar
+//! and scalar processors, respectively, with an additional penalty of 10+3
+//! cycles, plus any bus contention, on a miss."
+//!
+//! Each bank services one request per cycle (the crossbar delivers at most
+//! one request per bank per cycle); requests arriving at a busy bank queue
+//! behind it. Timing is analytic: an access at cycle `now` returns its
+//! absolute completion cycle.
+
+use crate::bus::MemBus;
+use crate::cache::{CacheStats, DirectMappedCache};
+
+/// Configuration for the banked data cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataBanksConfig {
+    /// Number of banks (paper: 2 × processing units).
+    pub nbanks: usize,
+    /// Bytes per bank (paper: 8 KB).
+    pub bank_bytes: u32,
+    /// Block size (paper: 64 B).
+    pub block_bytes: u32,
+    /// Load-to-use hit time (paper: 2 multiscalar, 1 scalar).
+    pub hit_time: u64,
+    /// Extra cycles beyond the bus transfer on a miss (paper: the "+3").
+    pub miss_extra: u64,
+}
+
+impl DataBanksConfig {
+    /// The paper's multiscalar configuration for `units` processing units.
+    pub fn multiscalar(units: usize) -> DataBanksConfig {
+        DataBanksConfig {
+            nbanks: 2 * units,
+            bank_bytes: 8 * 1024,
+            block_bytes: 64,
+            hit_time: 2,
+            miss_extra: 3,
+        }
+    }
+
+    /// The paper's scalar configuration: 1-cycle hits, with total
+    /// capacity matching the 8-unit multiscalar's 128 KB of banked
+    /// storage (a conservative choice that favours the baseline).
+    pub fn scalar() -> DataBanksConfig {
+        DataBanksConfig {
+            nbanks: 16,
+            bank_bytes: 8 * 1024,
+            block_bytes: 64,
+            hit_time: 1,
+            miss_extra: 3,
+        }
+    }
+}
+
+struct Bank {
+    cache: DirectMappedCache,
+    free_at: u64,
+}
+
+/// The interleaved data-cache banks.
+pub struct DataBanks {
+    banks: Vec<Bank>,
+    cfg: DataBanksConfig,
+}
+
+impl DataBanks {
+    /// Builds the banks from a configuration.
+    ///
+    /// # Panics
+    /// Panics if `nbanks` is zero or cache dimensions are invalid.
+    pub fn new(cfg: DataBanksConfig) -> DataBanks {
+        assert!(cfg.nbanks > 0, "need at least one bank");
+        DataBanks {
+            banks: (0..cfg.nbanks)
+                .map(|_| Bank {
+                    cache: DirectMappedCache::new(cfg.bank_bytes, cfg.block_bytes),
+                    free_at: 0,
+                })
+                .collect(),
+            cfg,
+        }
+    }
+
+    /// The bank index serving `addr`. Banks are interleaved at block
+    /// granularity so each cache block (and each ARB line within it) lives
+    /// in exactly one bank.
+    pub fn bank_of(&self, addr: u32) -> usize {
+        ((addr / self.cfg.block_bytes) as usize) % self.banks.len()
+    }
+
+    fn start_service(&mut self, now: u64, addr: u32) -> (usize, u64) {
+        let b = self.bank_of(addr);
+        let start = self.banks[b].free_at.max(now);
+        self.banks[b].free_at = start + 1;
+        (b, start)
+    }
+
+    /// A load issued at `now`; returns the cycle its value is available.
+    /// `forwarded_from_arb` loads still occupy the bank (the ARB sits with
+    /// the banks) but cannot miss.
+    pub fn access_load(
+        &mut self,
+        now: u64,
+        addr: u32,
+        forwarded_from_arb: bool,
+        bus: &mut MemBus,
+    ) -> u64 {
+        let (b, start) = self.start_service(now, addr);
+        if forwarded_from_arb {
+            return start + self.cfg.hit_time;
+        }
+        let hit = self.banks[b].cache.access(addr);
+        if hit {
+            start + self.cfg.hit_time
+        } else {
+            let done = bus.request(start + self.cfg.hit_time, self.cfg.block_bytes / 4);
+            done + self.cfg.miss_extra
+        }
+    }
+
+    /// A store issued at `now`; returns its completion cycle. Speculative
+    /// stores go to the ARB, so no cache fill or bus traffic occurs here.
+    pub fn access_store(&mut self, now: u64, addr: u32) -> u64 {
+        let (_, start) = self.start_service(now, addr);
+        start + 1
+    }
+
+    /// A store in *scalar* mode (no ARB): writes allocate in the cache and
+    /// consume bus bandwidth on a miss, but complete in one cycle (write
+    /// buffered, non-blocking).
+    pub fn access_store_allocate(&mut self, now: u64, addr: u32, bus: &mut MemBus) -> u64 {
+        let (b, start) = self.start_service(now, addr);
+        let hit = self.banks[b].cache.access(addr);
+        if !hit {
+            let _ = bus.request(start, self.cfg.block_bytes / 4);
+        }
+        start + 1
+    }
+
+    /// A retire-time ARB drain write of the line at `addr`, issued at
+    /// `now`. Write misses allocate and consume bus bandwidth but do not
+    /// stall the caller (retirement is never blocked on the drain).
+    pub fn drain_store(&mut self, now: u64, addr: u32, bus: &mut MemBus) {
+        let b = self.bank_of(addr);
+        let hit = self.banks[b].cache.access(addr);
+        if !hit {
+            let _ = bus.request(now, self.cfg.block_bytes / 4);
+        }
+    }
+
+    /// Aggregate cache statistics over all banks.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for b in &self.banks {
+            s.accesses += b.cache.stats().accesses;
+            s.misses += b.cache.stats().misses;
+        }
+        s
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DataBanksConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::BusConfig;
+
+    fn setup() -> (DataBanks, MemBus) {
+        (
+            DataBanks::new(DataBanksConfig::multiscalar(4)),
+            MemBus::new(BusConfig::default()),
+        )
+    }
+
+    #[test]
+    fn hit_takes_hit_time() {
+        let (mut d, mut bus) = setup();
+        let t1 = d.access_load(0, 0x100, false, &mut bus); // cold miss
+        assert_eq!(t1, 2 + 13 + 3); // hit_time + bus(16w) + extra
+        let t2 = d.access_load(20, 0x104, false, &mut bus); // now a hit
+        assert_eq!(t2, 22);
+    }
+
+    #[test]
+    fn bank_conflict_serializes() {
+        let (mut d, mut bus) = setup();
+        d.access_load(0, 0x100, false, &mut bus);
+        // Same bank (same 64-byte block), same cycle: second waits 1.
+        let t = d.access_load(0, 0x108, true, &mut bus);
+        assert_eq!(t, 1 + 2);
+        // Different bank (next block): no conflict.
+        let t = d.access_load(0, 0x140, true, &mut bus);
+        assert_eq!(t, 2);
+    }
+
+    #[test]
+    fn stores_complete_in_one_cycle() {
+        let (mut d, bus) = setup();
+        assert_eq!(d.access_store(5, 0x40), 6);
+        assert_eq!(bus.stats().transactions, 0);
+    }
+
+    #[test]
+    fn forwarded_loads_never_miss() {
+        let (mut d, mut bus) = setup();
+        let t = d.access_load(0, 0x2000, true, &mut bus);
+        assert_eq!(t, 2);
+        assert_eq!(d.stats().misses, 0);
+    }
+
+    #[test]
+    fn drain_misses_use_bus_but_do_not_block() {
+        let (mut d, mut bus) = setup();
+        d.drain_store(0, 0x500, &mut bus);
+        assert_eq!(bus.stats().transactions, 1);
+        // Second drain to same block hits: no more bus traffic.
+        d.drain_store(1, 0x508, &mut bus);
+        assert_eq!(bus.stats().transactions, 1);
+    }
+
+    #[test]
+    fn scalar_config_has_one_cycle_hits() {
+        let mut d = DataBanks::new(DataBanksConfig::scalar());
+        let mut bus = MemBus::new(BusConfig::default());
+        d.access_load(0, 0x100, false, &mut bus);
+        let t = d.access_load(20, 0x104, false, &mut bus);
+        assert_eq!(t, 21);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ms-memsys — the multiscalar memory system
+//!
+//! All the storage-side hardware of the paper's Figure 1, built from
+//! scratch:
+//!
+//! * [`Memory`] — sparse architectural memory (committed state only),
+//! * [`DirectMappedCache`] — timing-only tag arrays,
+//! * [`MemBus`] — the single 4-word split-transaction memory bus
+//!   (10 cycles first beat, +1 per extra beat, with exact contention),
+//! * [`DataBanks`] — interleaved 8 KB direct-mapped data-cache banks
+//!   behind a crossbar, one request per bank per cycle,
+//! * [`ICache`] — per-unit 32 KB instruction caches,
+//! * [`Arb`] — the Address Resolution Buffer: speculative store storage,
+//!   load/store bits per processing unit, store-to-load forwarding,
+//!   memory-order violation detection, squash cleanup and retire drain.
+//!
+//! Timing is analytic (each access returns its absolute completion cycle)
+//! while correctness state (memory bytes, speculative store values) is
+//! exact. See `DESIGN.md` §3 for the parameters and deviations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arb;
+mod banks;
+mod bus;
+mod cache;
+mod icache;
+mod mem;
+
+pub use arb::{Arb, ArbFull, ArbStats, LoadResult};
+pub use banks::{DataBanks, DataBanksConfig};
+pub use bus::{BusConfig, BusStats, MemBus};
+pub use cache::{CacheStats, DirectMappedCache};
+pub use icache::{ICache, ICacheConfig};
+pub use mem::Memory;

@@ -1,0 +1,137 @@
+//! Sparse byte-addressable backing memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse, little-endian, byte-addressable memory.
+///
+/// Pages are allocated on first touch; unwritten bytes read as zero. This
+/// holds only *architectural* (committed) state — speculative stores live
+/// in the [`crate::Arb`] until their task retires.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[off] = v;
+    }
+
+    /// Reads `n <= 8` bytes little-endian into a `u64` (zero-extended).
+    ///
+    /// # Panics
+    /// Panics if `n > 8`.
+    pub fn read_le(&self, addr: u32, n: u32) -> u64 {
+        assert!(n <= 8, "read_le size {n} > 8");
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n <= 8` bytes of `v` little-endian.
+    ///
+    /// # Panics
+    /// Panics if `n > 8`.
+    pub fn write_le(&mut self, addr: u32, n: u32, v: u64) {
+        assert!(n <= 8, "write_le size {n} > 8");
+        for i in 0..n {
+            self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_slice(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_vec(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Number of resident pages (for diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_le(0xdead_0000, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut m = Memory::new();
+        m.write_le(100, 8, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_le(100, 8), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(100), 0xef);
+        assert_eq!(m.read_u8(107), 0x01);
+        assert_eq!(m.read_le(100, 4), 0x89ab_cdef);
+        m.write_le(100, 2, 0xffff);
+        assert_eq!(m.read_le(100, 4), 0x89ab_ffff);
+    }
+
+    #[test]
+    fn writes_span_page_boundaries() {
+        let mut m = Memory::new();
+        let addr = (1 << 12) - 3;
+        m.write_le(addr, 8, u64::MAX);
+        assert_eq!(m.read_le(addr, 8), u64::MAX);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut m = Memory::new();
+        m.write_slice(42, b"hello");
+        assert_eq!(m.read_vec(42, 5), b"hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "read_le size")]
+    fn oversized_read_panics() {
+        Memory::new().read_le(0, 9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Functional units and operation latencies (paper Table 1).
+
+use ms_isa::{ExecClass, FuClass};
+
+/// Operation latencies in cycles, reconstructing the paper's Table 1.
+///
+/// Integer: add/sub 1, shift/logic 1, multiply 4, divide 12, store 1,
+/// load 2 (address generation + issue; cache time is modelled separately
+/// by the memory system), branch 1. Floating point: SP add/sub 2,
+/// SP multiply 4, SP divide 12, DP add/sub 2, DP multiply 5, DP divide 18.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Integer ALU operations.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide.
+    pub int_div: u64,
+    /// Load (address generation; cache latency added by the memory system).
+    pub load: u64,
+    /// Store.
+    pub store: u64,
+    /// Branch/jump.
+    pub branch: u64,
+    /// FP single add/sub.
+    pub fp_add_s: u64,
+    /// FP single multiply.
+    pub fp_mul_s: u64,
+    /// FP single divide.
+    pub fp_div_s: u64,
+    /// FP double add/sub.
+    pub fp_add_d: u64,
+    /// FP double multiply.
+    pub fp_mul_d: u64,
+    /// FP double divide.
+    pub fp_div_d: u64,
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        LatencyTable {
+            int_alu: 1,
+            int_mul: 4,
+            int_div: 12,
+            load: 1,
+            store: 1,
+            branch: 1,
+            fp_add_s: 2,
+            fp_mul_s: 4,
+            fp_div_s: 12,
+            fp_add_d: 2,
+            fp_mul_d: 5,
+            fp_div_d: 18,
+        }
+    }
+}
+
+impl LatencyTable {
+    /// Latency of an execution class.
+    pub fn latency(&self, class: ExecClass) -> u64 {
+        match class {
+            ExecClass::IntAlu => self.int_alu,
+            ExecClass::IntMul => self.int_mul,
+            ExecClass::IntDiv => self.int_div,
+            ExecClass::Load => self.load,
+            ExecClass::Store => self.store,
+            ExecClass::Branch => self.branch,
+            ExecClass::FpAddS => self.fp_add_s,
+            ExecClass::FpMulS => self.fp_mul_s,
+            ExecClass::FpDivS => self.fp_div_s,
+            ExecClass::FpAddD => self.fp_add_d,
+            ExecClass::FpMulD => self.fp_mul_d,
+            ExecClass::FpDivD => self.fp_div_d,
+        }
+    }
+}
+
+/// Per-cycle functional-unit availability.
+///
+/// Paper Section 5.1: "1 or 2 simple integer FU, 1 complex integer FU, 1
+/// floating point FU, 1 branch FU, and 1 memory FU", all pipelined — each
+/// unit accepts one new operation per cycle.
+#[derive(Clone, Debug)]
+pub struct FuPool {
+    counts: [u8; 5],
+    used: [u8; 5],
+}
+
+fn slot(class: FuClass) -> usize {
+    match class {
+        FuClass::SimpleInt => 0,
+        FuClass::ComplexInt => 1,
+        FuClass::Fp => 2,
+        FuClass::Branch => 3,
+        FuClass::Mem => 4,
+    }
+}
+
+impl FuPool {
+    /// A pool for a unit of the given issue width (the number of simple
+    /// integer units matches the issue width).
+    pub fn new(issue_width: usize) -> FuPool {
+        FuPool {
+            counts: [issue_width as u8, 1, 1, 1, 1],
+            used: [0; 5],
+        }
+    }
+
+    /// Resets per-cycle usage. Call once at the start of each cycle.
+    pub fn begin_cycle(&mut self) {
+        self.used = [0; 5];
+    }
+
+    /// Attempts to claim a functional unit of `class` for this cycle.
+    pub fn try_acquire(&mut self, class: FuClass) -> bool {
+        let s = slot(class);
+        if self.used[s] < self.counts[s] {
+            self.used[s] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a unit of `class` is still free this cycle.
+    pub fn available(&self, class: FuClass) -> bool {
+        let s = slot(class);
+        self.used[s] < self.counts[s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_match_table1() {
+        let t = LatencyTable::default();
+        assert_eq!(t.latency(ExecClass::IntAlu), 1);
+        assert_eq!(t.latency(ExecClass::IntMul), 4);
+        assert_eq!(t.latency(ExecClass::IntDiv), 12);
+        assert_eq!(t.latency(ExecClass::FpAddD), 2);
+        assert_eq!(t.latency(ExecClass::FpMulD), 5);
+        assert_eq!(t.latency(ExecClass::FpDivD), 18);
+        assert_eq!(t.latency(ExecClass::FpDivS), 12);
+    }
+
+    #[test]
+    fn two_way_pool_has_two_simple_int_units() {
+        let mut p = FuPool::new(2);
+        p.begin_cycle();
+        assert!(p.try_acquire(FuClass::SimpleInt));
+        assert!(p.try_acquire(FuClass::SimpleInt));
+        assert!(!p.try_acquire(FuClass::SimpleInt));
+        assert!(p.try_acquire(FuClass::Mem));
+        assert!(!p.try_acquire(FuClass::Mem));
+        p.begin_cycle();
+        assert!(p.try_acquire(FuClass::SimpleInt));
+    }
+
+    #[test]
+    fn one_way_pool_single_issue_per_class() {
+        let mut p = FuPool::new(1);
+        p.begin_cycle();
+        assert!(p.try_acquire(FuClass::Branch));
+        assert!(!p.available(FuClass::Branch));
+        assert!(p.available(FuClass::ComplexInt));
+    }
+}

@@ -1,0 +1,29 @@
+//! Quick full-scale sweep: every workload, scalar vs. 8-unit
+//! multiscalar, with wall-clock timings — a fast sanity check between
+//! full `tables` runs.
+//!
+//! ```text
+//! cargo run --release -p ms-workloads --bin speed
+//! ```
+
+use ms_workloads::{suite, Scale};
+use multiscalar::SimConfig;
+use std::io::Write;
+use std::time::Instant;
+fn main() {
+    for w in suite(Scale::Full) {
+        let t = Instant::now();
+        let s = w.run_scalar(SimConfig::scalar()).unwrap_or_else(|e| panic!("{} scalar: {e}", w.name));
+        let ts = t.elapsed();
+        let t = Instant::now();
+        let m = w.run_multiscalar(SimConfig::multiscalar(8)).unwrap_or_else(|e| panic!("{} ms: {e}", w.name));
+        let tm = t.elapsed();
+        println!(
+            "{:10} scalar {:>9} cyc IPC {:.2} ({:>7.2?}) | ms8 {:>9} cyc ({:>7.2?}) speedup {:5.2} pred {:5.1}% sq {}c+{}m",
+            w.name, s.cycles, s.ipc(), ts, m.cycles, tm,
+            s.cycles as f64 / m.cycles as f64,
+            100.0 * m.prediction_accuracy(), m.control_squashes, m.memory_squashes
+        );
+        std::io::stdout().flush().unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+//! Debug driver: run one workload by name at test scale and print stats.
+//!
+//! Usage: `wldbg <name> [scalar|ms] [units]`
+
+use ms_workloads::{by_name, Scale};
+use multiscalar::SimConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("Example");
+    let mode = args.get(2).map(String::as_str).unwrap_or("scalar");
+    let units: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let w = by_name(name, Scale::Test).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let result = if mode == "scalar" {
+        w.run_scalar(SimConfig::scalar().max_cycles(3_000_000))
+    } else {
+        w.run_multiscalar(SimConfig::multiscalar(units).max_cycles(3_000_000))
+    };
+    match result {
+        Ok(stats) => println!("{name} {mode}: ok\n{stats}"),
+        Err(e) => println!("{name} {mode}: ERROR {e}"),
+    }
+}

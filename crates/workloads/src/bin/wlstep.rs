@@ -1,0 +1,27 @@
+//! Debug driver: step a workload's multiscalar run and dump state.
+//!
+//! Usage: `wlstep <name> [units] [cycles] [dump_every]`
+
+use ms_asm::AsmMode;
+use ms_workloads::{by_name, Scale};
+use multiscalar::{Processor, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("Eqntott");
+    let units: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let cycles: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let every: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let w = by_name(name, Scale::Test).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let prog = w.assemble(AsmMode::Multiscalar).expect("assemble");
+    let mut p = Processor::new(prog, SimConfig::multiscalar(units)).expect("build");
+    for c in 0..cycles {
+        if let Err(e) = p.step() {
+            println!("cycle {c}: ERROR {e}");
+            return;
+        }
+        if c % every == 0 || c + 5 >= cycles {
+            println!("cycle {c}: {}", p.debug_state());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! SPECint92 `eqntott` kernel (`cmppt`).
+//!
+//! Paper Section 5.3: "Most (85%) of the instructions in eqntott are in
+//! the cmppt function, which is dominated by a loop. The compiler
+//! automatically encompasses the entire loop body into a task, allowing
+//! multiple iterations of the loop to execute in parallel."
+//!
+//! `cmppt` lexicographically compares pairs of product-term vectors. One
+//! task = one full pair comparison (the inner word loop with early exit),
+//! so tasks are independent but vary in length — moderate speedups, high
+//! prediction accuracy.
+
+use crate::data::{rng, word_block, Scale};
+use crate::{Check, Workload};
+use rand::Rng;
+
+const L: usize = 8; // words per product term
+
+/// Builds the eqntott workload.
+pub fn workload(scale: Scale) -> Workload {
+    let pairs = scale.pick(24, 2500);
+    let mut r = rng(0xe9);
+    let mut va = Vec::with_capacity(pairs * L);
+    let mut vb = Vec::with_capacity(pairs * L);
+    for _ in 0..pairs {
+        let base: Vec<u32> = (0..L).map(|_| r.gen_range(0..0x4000)).collect();
+        let mut other = base.clone();
+        if r.gen_ratio(7, 10) {
+            // Most differing pairs differ early (short tasks); equal
+            // pairs run the whole inner loop (long tasks) — the load
+            // imbalance that holds eqntott to moderate speedups.
+            let at = if r.gen_ratio(3, 4) { r.gen_range(0..2) } else { r.gen_range(0..L) };
+            other[at] = other[at].wrapping_add(1 + r.gen_range(0..5));
+        }
+        va.extend_from_slice(&base);
+        vb.extend_from_slice(&other);
+    }
+
+    // Reference: 0 = equal, 1 = a < b, 2 = a > b (on the first difference).
+    let results: Vec<u32> = (0..pairs)
+        .map(|p| {
+            for i in 0..L {
+                let (x, y) = (va[p * L + i], vb[p * L + i]);
+                if x != y {
+                    return if x < y { 1 } else { 2 };
+                }
+            }
+            0
+        })
+        .collect();
+    let eqcount = results.iter().filter(|&&v| v == 0).count() as u32;
+
+    let mut checks: Vec<Check> = results
+        .iter()
+        .enumerate()
+        .map(|(p, &v)| Check::word("out", (p * 4) as u32, v, &format!("cmppt({p})")))
+        .collect();
+    checks.push(Check::word("eqcount", 0, eqcount, "equal-pair count"));
+
+    let source = format!(
+        r#"
+; eqntott cmppt: one product-term comparison per task.
+.data
+{va_block}
+vaend: .word 0
+{vb_block}
+.align 2
+out: .space {out_bytes}
+eqcount: .word 0
+
+.text
+main:
+.task targets=PAIR create=$16,$20,$21,$22,$24
+INIT:
+    la      $20, va
+    la      $21, vb
+    la      $22, out
+    la!f    $16, vaend
+    li!f    $24, 0             ; equal-pair counter (register recurrence)
+    release $20, $21, $22
+    b!s     PAIR
+
+.task targets=PAIR,PDONE create=$20,$21,$22,$24
+PAIR:
+    addiu!f $20, $20, {stride}
+    addiu!f $21, $21, {stride}
+    addiu!f $22, $22, 4
+    li      $9, -{stride}
+    li      $8, 0              ; result: equal
+CMPLOOP:
+    addu    $10, $20, $9
+    lw      $11, 0($10)
+    addu    $10, $21, $9
+    lw      $12, 0($10)
+    bne     $11, $12, DIFFER
+    addiu   $9, $9, 4
+    bltz    $9, CMPLOOP
+    j       STORE_RES
+DIFFER:
+    sltu    $13, $11, $12
+    li      $8, 2
+    beq     $13, $0, STORE_RES
+    li      $8, 1
+STORE_RES:
+    sw      $8, -4($22)
+    ; The result feeds eqntott's bookkeeping: equal pairs bump a counter
+    ; that is only known late in the task (partial serialization).
+    bne     $8, $0, NOTEQ
+    addiu!f $24, $24, 1
+    j       PNEXT
+NOTEQ:
+    release $24
+PNEXT:
+    bne!s   $20, $16, PAIR
+
+.task targets=halt create=
+PDONE:
+    la      $9, eqcount
+    sw      $24, 0($9)
+    halt
+"#,
+        va_block = word_block("va", &va),
+        vb_block = word_block("vb", &vb),
+        stride = L * 4,
+        out_bytes = pairs * 4,
+    );
+
+    Workload {
+        name: "Eqntott",
+        description: "independent vector comparisons with early exit \
+                      (variable task length -> load-balance losses); \
+                      moderate speedups",
+        source,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+    use multiscalar::SimConfig;
+
+    #[test]
+    fn validates_on_scalar_and_multiscalar() {
+        check_workload(&workload(Scale::Test));
+    }
+
+    #[test]
+    fn comparisons_run_in_parallel() {
+        let w = workload(Scale::Test);
+        let s = w.run_scalar(SimConfig::scalar()).unwrap();
+        let m = w.run_multiscalar(SimConfig::multiscalar(8)).unwrap();
+        assert!(s.cycles as f64 / m.cycles as f64 > 1.5);
+    }
+}

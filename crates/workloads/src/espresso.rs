@@ -1,0 +1,179 @@
+//! SPECint92 `espresso` kernel (`massive_count`).
+//!
+//! Paper Section 5.3: "The top function in espresso is massive_count (37%
+//! of instructions). The massive_count function has two main loops. In
+//! both cases, the loop body is a task … In the first loop, each
+//! iteration executes a variable number of instructions (cycles are lost
+//! due to load balance). In the second loop (which contains a nested
+//! loop), an iteration of the outer loop includes all the iterations of
+//! the inner loop (in this situation, the task partitioning needed a
+//! manual hint to select this granularity)."
+//!
+//! Loop A counts set bits of each word into shared per-bit-position
+//! counters in memory (inter-task memory dependences through the counter
+//! array); loop B sums matrix rows (independent tasks containing a nested
+//! loop).
+
+use crate::data::{rng, word_block, Scale};
+use crate::{Check, Workload};
+use rand::Rng;
+
+/// Builds the espresso workload.
+pub fn workload(scale: Scale) -> Workload {
+    let nwords = scale.pick(48, 2500);
+    let rows = scale.pick(8, 120);
+    let cols = 16usize;
+
+    let mut r = rng(0xe59);
+    // Sparse words (a few set bits each) with occasional zeros.
+    // Most words are empty (trivial tasks); the rest are dense (long
+    // bit-count loops) — the paper's "variable number of instructions"
+    // load imbalance.
+    let words: Vec<u32> = (0..nwords)
+        .map(|_| {
+            if r.gen_ratio(4, 5) {
+                0
+            } else {
+                let mut w = 0u32;
+                for _ in 0..r.gen_range(16..30) {
+                    w |= 1 << r.gen_range(0..32);
+                }
+                w
+            }
+        })
+        .collect();
+    let mat: Vec<u32> = (0..rows * cols).map(|_| r.gen_range(0..1000)).collect();
+
+    // Reference.
+    let mut cnt = [0u32; 32];
+    for &w in &words {
+        for (b, c) in cnt.iter_mut().enumerate() {
+            if w & (1 << b) != 0 {
+                *c += 1;
+            }
+        }
+    }
+    let rowsums: Vec<u32> = (0..rows)
+        .map(|rr| mat[rr * cols..(rr + 1) * cols].iter().copied().fold(0u32, u32::wrapping_add))
+        .collect();
+
+    let mut checks: Vec<Check> = cnt
+        .iter()
+        .enumerate()
+        .map(|(b, &v)| Check::word("cnt", (b * 4) as u32, v, &format!("bit {b} count")))
+        .collect();
+    checks.extend(
+        rowsums
+            .iter()
+            .enumerate()
+            .map(|(rr, &v)| Check::word("rowsum", (rr * 4) as u32, v, &format!("row {rr} sum"))),
+    );
+
+    let source = format!(
+        r#"
+; espresso massive_count: bit counting + nested-loop row sums.
+.data
+{words_block}
+wordsend: .word 0
+{mat_block}
+matend: .word 0
+.align 2
+cnt:    .space 128
+rowsum: .space {rowsum_bytes}
+
+.text
+main:
+.task targets=WLOOP create=$16,$20
+INITA:
+    la      $20, words
+    la!f    $16, wordsend
+    release $20
+    b!s     WLOOP
+
+; Loop A: one word per task; shared counters in memory.
+.task targets=WLOOP,INITB create=$20
+WLOOP:
+    addiu!f $20, $20, 4
+    lw      $8, -4($20)
+    beq     $8, $0, WNEXT      ; zero words do no counting work
+    la      $9, cnt
+BITLOOP:
+    andi    $10, $8, 1
+    beq     $10, $0, NOBIT
+    lw      $11, 0($9)
+    addiu   $11, $11, 1
+    sw      $11, 0($9)
+NOBIT:
+    addiu   $9, $9, 4
+    srl     $8, $8, 1
+    bne     $8, $0, BITLOOP
+WNEXT:
+    bne!s   $20, $16, WLOOP
+
+; Loop B setup (the "manual hint" granularity: task = whole row).
+.task targets=BLOOP create=$17,$20,$22
+INITB:
+    la      $20, mat
+    la      $22, rowsum
+    la!f    $17, matend
+    release $20, $22
+    b!s     BLOOP
+
+.task targets=BLOOP,EDONE create=$20,$22
+BLOOP:
+    addiu!f $20, $20, {rowstride}
+    addiu!f $22, $22, 4
+    li      $9, -{rowstride}
+    li      $8, 0
+BSUM:
+    addu    $10, $20, $9
+    lw      $11, 0($10)
+    addu    $8, $8, $11
+    addiu   $9, $9, 4
+    bltz    $9, BSUM
+    ; keep the low 32 bits (reference wraps at u32)
+    sll     $8, $8, 32
+    srl     $8, $8, 32
+    sw      $8, -4($22)
+    bne!s   $20, $17, BLOOP
+
+.task targets=halt create=
+EDONE:
+    halt
+"#,
+        words_block = word_block("words", &words),
+        mat_block = word_block("mat", &mat),
+        rowsum_bytes = rows * 4,
+        rowstride = cols * 4,
+    );
+
+    Workload {
+        name: "Espresso",
+        description: "massive_count: per-word bit counting into shared \
+                      memory counters (violations/forwarding) plus \
+                      independent nested-loop row sums",
+        source,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+
+    #[test]
+    fn validates_on_scalar_and_multiscalar() {
+        check_workload(&workload(Scale::Test));
+    }
+
+    #[test]
+    fn memory_counter_chains_cause_violations_or_forwarding() {
+        let w = workload(Scale::Test);
+        let m = w
+            .run_multiscalar(multiscalar::SimConfig::multiscalar(8))
+            .unwrap();
+        // The shared counters must exercise the ARB's speculative paths.
+        assert!(m.arb.load_forwards + m.memory_squashes > 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! SPECint92 `gcc` kernel.
+//!
+//! Paper Section 5.3: "Both gcc and xlisp distribute execution time
+//! uniformly across a great deal of code … for the task partitioning that
+//! we use currently, squashes (both prediction and memory order) result
+//! in near-sequential execution of the important tasks. Accordingly, the
+//! overheads in our multiscalar execution … result in a slow down in some
+//! cases."
+//!
+//! The kernel is an IR-walker: one task per node, with a data-dependent
+//! multi-way dispatch whose *task successor* is unpredictable (~25% of
+//! nodes exit through a different task), plus serializing updates of
+//! global state in memory — the squash-dominated regime the paper
+//! describes.
+
+use crate::data::{random_words, word_block, Scale};
+use crate::{Check, Workload};
+
+/// Builds the gcc-like workload.
+pub fn workload(scale: Scale) -> Workload {
+    let n = scale.pick(64, 6000);
+    let ops = random_words(0x6cc, n, 1 << 16);
+
+    // Reference.
+    let mut g1 = 0u32;
+    let mut g2 = 0u32;
+    let mut g3 = 0u32;
+    let mut acc = 0u32;
+    for &op in &ops {
+        match op & 3 {
+            0 => acc = acc.wrapping_add(op >> 2),
+            1 => g1 = g1.wrapping_add(op ^ g1),
+            2 => {
+                let mut s = g2;
+                for k in 0..8u32 {
+                    s = s.wrapping_add(op.rotate_right(k));
+                }
+                g2 = s;
+            }
+            _ => g3 = g3.wrapping_add(1),
+        }
+    }
+
+    let checks = vec![
+        Check::word("globals", 0, g1, "g1"),
+        Check::word("globals", 4, g2, "g2"),
+        Check::word("globals", 8, g3, "g3"),
+        Check::word("globals", 12, acc, "acc"),
+    ];
+
+    let source = format!(
+        r#"
+; gcc-like IR walk: unpredictable task successors + global-state updates.
+.data
+{ops_block}
+opsend: .word 0
+.align 2
+globals: .word 0, 0, 0, 0    ; g1, g2, g3, acc
+
+.text
+main:
+.task targets=NODE create=$16,$20,$21
+INIT:
+    la      $20, ops
+    la!f    $16, opsend
+    li!f    $21, 0            ; acc (register recurrence)
+    release $20
+    b!s     NODE
+
+.task targets=NODE,SPECIAL,STOREOUT create=$20,$21
+NODE:
+    addiu!f $20, $20, 4
+    lw      $8, -4($20)
+    andi    $9, $8, 3
+    beq     $9, $0, CASE0
+    xori    $10, $9, 1
+    beq     $10, $0, CASE1
+    xori    $10, $9, 2
+    beq     $10, $0, CASE2
+    ; case 3: exits to the SPECIAL task (data-dependent successor)
+    release $21
+    j!s     SPECIAL
+CASE0:
+    srl     $10, $8, 2
+    addu    $21, $21, $10
+    sll     $21, $21, 32     ; keep u32 semantics
+    srl!f   $21, $21, 32
+    j       NNEXT
+CASE1:
+    release $21
+    la      $11, globals
+    lw      $12, 0($11)
+    xor     $13, $8, $12
+    addu    $12, $12, $13
+    sll     $12, $12, 32
+    srl     $12, $12, 32
+    sw      $12, 0($11)
+    j       NNEXT
+CASE2:
+    release $21
+    la      $11, globals
+    lw      $12, 4($11)      ; s = g2
+    li      $9, 0
+ROTLOOP:
+    ; op.rotate_right(k) on 32 bits
+    srlv    $13, $8, $9
+    li      $14, 32
+    subu    $14, $14, $9
+    sllv    $15, $8, $14
+    or      $13, $13, $15
+    sll     $13, $13, 32
+    srl     $13, $13, 32
+    addu    $12, $12, $13
+    addiu   $9, $9, 1
+    slti    $14, $9, 8
+    bne     $14, $0, ROTLOOP
+    sll     $12, $12, 32
+    srl     $12, $12, 32
+    sw      $12, 4($11)
+NNEXT:
+    bne!st  $20, $16, NODE     ; continue the walk (stop if taken)
+    j!s     STOREOUT           ; ops exhausted
+
+; The special handler task: bumps g3, then rejoins the walk. It creates
+; nothing — $20/$21 pass through from the predecessor's forwarded view.
+.task targets=NODE,STOREOUT create=
+SPECIAL:
+    la      $11, globals
+    lw      $12, 8($11)
+    addiu   $12, $12, 1
+    sw      $12, 8($11)
+    bne!st  $20, $16, NODE
+    j!s     STOREOUT
+
+.task targets=halt create=
+STOREOUT:
+    la      $11, globals
+    sw      $21, 12($11)
+    halt
+"#,
+        ops_block = word_block("ops", &ops),
+    );
+
+    Workload {
+        name: "Gcc",
+        description: "IR walk with data-dependent task successors (~25% \
+                      mispredicted) and serializing global updates — the \
+                      squash-dominated near-slowdown regime",
+        source,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+
+    #[test]
+    fn validates_on_scalar_and_multiscalar() {
+        check_workload(&workload(Scale::Test));
+    }
+
+    #[test]
+    fn control_squashes_dominate() {
+        let w = workload(Scale::Test);
+        let m = w
+            .run_multiscalar(multiscalar::SimConfig::multiscalar(4))
+            .unwrap();
+        assert!(m.control_squashes > 0, "expected task mispredictions");
+    }
+}

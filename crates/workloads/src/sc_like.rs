@@ -1,0 +1,205 @@
+//! SPECint92 `sc` kernel (`RealEvalAll` work list).
+//!
+//! Paper Section 5.3: "we restructured the RealEvalOne loop to build a
+//! work list of the cells to be evaluated and to call RealEvalOne for each
+//! of the cells on the work list" — because the original per-cell loop had
+//! "enormous" load imbalance (empty vs. expression cells). One task = one
+//! work-list entry; each calls a *suppressed* recursive expression
+//! evaluator (a function executed inside the task), using a per-task stack
+//! frame that the ARB renames across units exactly as Section 2.3
+//! describes for parallel calls to `process`.
+
+use crate::data::{rng, Scale};
+use crate::{Check, Workload};
+use rand::Rng;
+use std::fmt::Write;
+
+/// Expression tree: leaf or binary op (1 add, 2 sub, 3 mul).
+enum Node {
+    Leaf(i32),
+    Op(u32, Box<Node>, Box<Node>),
+}
+
+fn gen_tree(r: &mut impl Rng, depth: u32) -> Node {
+    if depth == 0 || r.gen_ratio(1, 3) {
+        Node::Leaf(r.gen_range(-50..50))
+    } else {
+        Node::Op(
+            r.gen_range(1..4),
+            Box::new(gen_tree(r, depth - 1)),
+            Box::new(gen_tree(r, depth - 1)),
+        )
+    }
+}
+
+/// Evaluates with the exact semantics of the assembly: 64-bit arithmetic
+/// on sign-extended leaves, truncated to u32 at the final store.
+fn eval(n: &Node) -> i64 {
+    match n {
+        Node::Leaf(v) => *v as i64,
+        Node::Op(op, l, rr) => {
+            let (a, b) = (eval(l), eval(rr));
+            match op {
+                1 => a.wrapping_add(b),
+                2 => a.wrapping_sub(b),
+                _ => a.wrapping_mul(b),
+            }
+        }
+    }
+}
+
+/// Emits `.word` node records, returning the label of the root.
+fn emit_tree(n: &Node, out: &mut String, next_id: &mut usize) -> String {
+    let id = *next_id;
+    *next_id += 1;
+    let label = format!("nd{id}");
+    match n {
+        Node::Leaf(v) => {
+            let _ = writeln!(out, "{label}: .word 0, {v}, 0");
+        }
+        Node::Op(op, l, r) => {
+            let ll = emit_tree(l, out, next_id);
+            let rl = emit_tree(r, out, next_id);
+            let _ = writeln!(out, "{label}: .word {op}, {ll}, {rl}");
+        }
+    }
+    label
+}
+
+/// Builds the sc workload.
+pub fn workload(scale: Scale) -> Workload {
+    let cells = scale.pick(12, 400);
+    let mut r = rng(0x5c);
+    let mut nodes = String::new();
+    let mut next_id = 0usize;
+    let mut roots = Vec::with_capacity(cells);
+    let mut expected = Vec::with_capacity(cells);
+
+    let mut trees = Vec::new();
+    for _ in 0..cells {
+        // Highly variable cell cost (the paper: "the load imbalance
+        // between the work at each cell is enormous").
+        let depth = r.gen_range(0..8);
+        let t = gen_tree(&mut r, depth);
+        expected.push(eval(&t) as u32);
+        trees.push(t);
+    }
+    for t in &trees {
+        roots.push(emit_tree(t, &mut nodes, &mut next_id));
+    }
+
+    let mut worklist = String::from(".align 2\nworklist:\n");
+    for root in &roots {
+        let _ = writeln!(worklist, "  .word {root}");
+    }
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Check::word("results", (i * 4) as u32, v, &format!("cell {i} value")))
+        .collect();
+
+    let source = format!(
+        r#"
+; sc RealEvalAll: a work list of cells, each evaluated by a recursive
+; expression interpreter called inside the task (suppressed call).
+.data
+{nodes}
+{worklist}
+wlend: .word 0
+.align 2
+results: .space {res_bytes}
+
+.text
+main:
+.task targets=WORK create=$16,$20,$22
+INIT:
+    la      $20, worklist
+    la      $22, results
+    la!f    $16, wlend
+    release $20, $22
+    b!s     WORK
+
+.task targets=WORK,SCDONE create=$20,$22
+WORK:
+    addiu!f $20, $20, 4
+    addiu!f $22, $22, 4
+    lw      $4, -4($20)        ; cell expression root
+    jal     eval
+    sw      $2, -4($22)
+    bne!s   $20, $16, WORK
+
+.task targets=halt create=
+SCDONE:
+    halt
+
+; eval(node in $4) -> $2. Recursive; uses the task's (ARB-renamed) stack.
+eval:
+    lw      $9, 0($4)
+    bne     $9, $0, EVINNER
+    lw      $2, 4($4)          ; leaf value (sign-extended)
+    jr      $31
+EVINNER:
+    addiu   $29, $29, -32
+    sd      $31, 0($29)
+    sd      $4, 8($29)
+    lw      $4, 4($4)
+    jal     eval
+    sd      $2, 16($29)
+    ld      $4, 8($29)
+    lw      $4, 8($4)
+    jal     eval
+    ld      $9, 16($29)        ; left value
+    ld      $4, 8($29)
+    lw      $10, 0($4)         ; op
+    xori    $11, $10, 1
+    beq     $11, $0, DOADD
+    xori    $11, $10, 2
+    beq     $11, $0, DOSUB
+    mul     $2, $9, $2
+    j       EVRET
+DOADD:
+    addu    $2, $9, $2
+    j       EVRET
+DOSUB:
+    subu    $2, $9, $2
+EVRET:
+    ld      $31, 0($29)
+    addiu   $29, $29, 32
+    jr      $31
+"#,
+        nodes = nodes,
+        worklist = worklist,
+        res_bytes = cells * 4,
+    );
+
+    Workload {
+        name: "Sc",
+        description: "work-list of expression cells, each evaluated by a \
+                      recursive interpreter inside the task; per-task stack \
+                      frames renamed by the ARB; variable task cost",
+        source,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+
+    #[test]
+    fn reference_eval_matches_hand_cases() {
+        let t = Node::Op(
+            3,
+            Box::new(Node::Op(1, Box::new(Node::Leaf(2)), Box::new(Node::Leaf(3)))),
+            Box::new(Node::Leaf(-4)),
+        );
+        assert_eq!(eval(&t), -20);
+    }
+
+    #[test]
+    fn validates_on_scalar_and_multiscalar() {
+        check_workload(&workload(Scale::Test));
+    }
+}

@@ -1,0 +1,187 @@
+//! The paper's Figure-3 example: linked-list symbol search.
+//!
+//! "Execution repeatedly takes a symbol from a buffer and runs down a
+//! linked list checking for a match of the symbol. If a match is found, a
+//! function is called to process the symbol. If no match is found, an
+//! entry in the list is allocated for the new symbol." The paper's input:
+//! "an input file of 16 tokens, each appearing 450 times in the file."
+//!
+//! One task = one outer-loop iteration (one complete list search),
+//! annotated exactly as Figure 4: the induction variable is incremented
+//! and forwarded at the top of the task, and after dead-register analysis
+//! it is the only register in the create mask ("the only register value
+//! that is live outside the task is the induction variable").
+
+use crate::data::{rng, word_block, Scale};
+use crate::{Check, Workload};
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+const NSYMS: usize = 16;
+
+fn generate_buffer(scale: Scale) -> Vec<u32> {
+    let reps = scale.pick(8, 450);
+    let symbols: Vec<u32> = (0..NSYMS as u32).map(|i| 1000 + i * 7).collect();
+    let mut buf: Vec<u32> = symbols
+        .iter()
+        .flat_map(|&s| std::iter::repeat_n(s, reps))
+        .collect();
+    buf.shuffle(&mut rng(0x5ea2c4));
+    buf
+}
+
+/// Builds the symbol-search workload.
+pub fn workload(scale: Scale) -> Workload {
+    let buffer = generate_buffer(scale);
+
+    // Reference: first occurrence allocates a node (count 0); subsequent
+    // occurrences increment the node's count. Nodes are allocated in
+    // first-appearance order at heap + 16*i.
+    let mut order: Vec<u32> = Vec::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &sym in &buffer {
+        match counts.get_mut(&sym) {
+            Some(c) => *c += 1,
+            None => {
+                order.push(sym);
+                counts.insert(sym, 0);
+            }
+        }
+    }
+    let mut checks = Vec::new();
+    for (i, &sym) in order.iter().enumerate() {
+        let base = 16 * i as u32;
+        checks.push(Check::word("heap", base, sym, &format!("node {i} symbol")));
+        checks.push(Check::word(
+            "heap",
+            base + 4,
+            counts[&sym],
+            &format!("node {i} ({sym}) match count"),
+        ));
+    }
+
+    let source = format!(
+        r#"
+; Figure 3 / Figure 4: symbol-table search (the paper's "Example").
+.data
+{buffer_block}
+bufend:  .word 0
+listhd:  .word 0
+listtl:  .word 0
+heapptr: .word heap
+heap:    .space {heap_bytes}
+
+.text
+main:
+; Prologue task: set up the buffer cursor and end pointer.
+.task targets=OUTER create=$16,$20
+INIT:
+    la      $20, buffer        ; pre-increment idiom (Figure 4): the task
+    la!f    $16, bufend        ; bumps the cursor first, reads at -4
+    release $20
+    b!s     OUTER
+
+; One complete list search per task, annotated exactly as Figure 4: the
+; create mask is $4,$8,$17,$20,$23; the last updates of $4, $20 and $23
+; carry forward bits; $8 and $17 (updated repeatedly in the inner loop)
+; are released at the inner-loop exit; $4 is re-released where the
+; forwarding write may not have executed (ignored if it did).
+.task targets=OUTER,OUTERFALLOUT create=$4,$8,$17,$20,$23
+OUTER:
+    addiu!f $20, $20, 4        ; forward the induction variable early
+    lw!f    $23, -4($20)       ; symbol = SYMVAL(buffer[indx])
+    la      $9, listhd
+    lw      $17, 0($9)
+    beq     $17, $0, INNERFALLOUT
+INNER:
+    lw      $8, 0($17)         ; LELE(list)
+    beq     $8, $23, FOUND
+    lw      $17, 8($17)        ; LNEXT(list)
+    bne     $17, $0, INNER
+    j       INNERFALLOUT
+FOUND:
+    move!f  $4, $17
+    jal     process
+INNERFALLOUT:
+    release $8, $17            ; Figure 4: release at the inner-loop exit
+    bne     $17, $0, SKIPINNER ; found (or still in list): no insertion
+    move!f  $4, $23
+    jal     addlist
+SKIPINNER:
+    release $4                 ; ignored if a forwarding write executed
+    bne!s   $20, $16, OUTER    ; Stop Always (Figure 4)
+
+.task targets=halt create=
+OUTERFALLOUT:
+    halt
+
+; process(list): count the match.
+process:
+    lw      $9, 4($4)
+    addiu   $9, $9, 1
+    sw      $9, 4($4)
+    jr      $31
+
+; addlist(symbol in $23): append a node {{sym, 0, 0}} to the list tail.
+addlist:
+    la      $9, heapptr
+    lw      $10, 0($9)
+    sw      $23, 0($10)
+    sw      $0, 4($10)
+    sw      $0, 8($10)
+    addiu   $11, $10, 16
+    sw      $11, 0($9)
+    la      $9, listtl
+    lw      $11, 0($9)
+    beq     $11, $0, EMPTYLIST
+    sw      $10, 8($11)        ; tail->next = node
+    j       SETTL
+EMPTYLIST:
+    la      $12, listhd
+    sw      $10, 0($12)
+SETTL:
+    sw      $10, 0($9)
+    jr      $31
+"#,
+        buffer_block = word_block("buffer", &buffer),
+        heap_bytes = 16 * NSYMS + 16,
+    );
+
+    Workload {
+        name: "Example",
+        description: "Figure-3 linked-list symbol search; 16 tokens x 450 \
+                      occurrences; one list search per task; mostly \
+                      independent iterations",
+        source,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+    use multiscalar::SimConfig;
+
+    #[test]
+    fn validates_on_scalar_and_multiscalar() {
+        let w = workload(Scale::Test);
+        check_workload(&w);
+    }
+
+    #[test]
+    fn eight_units_match_reference_too() {
+        let w = workload(Scale::Test);
+        w.run_multiscalar(SimConfig::multiscalar(8).issue(2).out_of_order(true))
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn multiscalar_speeds_up_the_search() {
+        let w = workload(Scale::Test);
+        let s = w.run_scalar(SimConfig::scalar()).unwrap();
+        let m = w.run_multiscalar(SimConfig::multiscalar(8)).unwrap();
+        let speedup = s.cycles as f64 / m.cycles as f64;
+        assert!(speedup > 1.5, "Example speedup only {speedup:.2}");
+    }
+}

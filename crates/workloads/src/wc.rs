@@ -1,0 +1,124 @@
+//! GNU `wc` (word count).
+//!
+//! Paper Section 5.3: "cmp and wc are straightforward, with each spending
+//! almost all its time in a loop … the performance loss may be attributed
+//! mainly to cycles lost due to branches and loads inside each task
+//! (intra-task dependences)." One task = one input character; the
+//! line/word counters and the in-word flag are loop-carried registers
+//! produced early in each task and forwarded, so the counter chains
+//! pipeline across units.
+
+use crate::data::{byte_block, random_text, Scale};
+use crate::{Check, Workload};
+
+/// Builds the wc workload.
+pub fn workload(scale: Scale) -> Workload {
+    let n = scale.pick(300, 30_000);
+    let text = random_text(0xacc0, n);
+
+    // Reference word count.
+    let mut lines = 0u32;
+    let mut words = 0u32;
+    let mut inword = false;
+    for &c in &text {
+        if c == b'\n' {
+            lines += 1;
+        }
+        let space = c == b' ' || c == b'\n' || c == b'\t';
+        if !space && !inword {
+            words += 1;
+        }
+        inword = !space;
+    }
+
+    let source = format!(
+        r#"
+; wc: per-character tasks with forwarded counter chains.
+.data
+{text_block}
+textend: .byte 0
+.align 2
+results: .word 0, 0, 0      ; lines, words, chars
+
+.text
+main:
+.task targets=CHLOOP create=$16,$20,$21,$22,$23
+INIT:
+    la      $20, text        ; cursor
+    la!f    $16, textend     ; end
+    li!f    $21, 0           ; lines
+    li!f    $22, 0           ; words
+    li!f    $23, 0           ; in-word flag
+    release $20
+    b!s     CHLOOP
+
+.task targets=CHLOOP,FINISH create=$20,$21,$22,$23
+CHLOOP:
+    addiu!f $20, $20, 1      ; induction first, forwarded
+    lbu     $8, -1($20)
+    ; lines += (c == '\n')
+    xori    $9, $8, 10
+    sltiu   $9, $9, 1
+    addu!f  $21, $21, $9
+    ; space = (c==' ') | (c=='\t') | (c=='\n')
+    xori    $10, $8, 32
+    sltiu   $10, $10, 1
+    xori    $11, $8, 9
+    sltiu   $11, $11, 1
+    or      $10, $10, $11
+    or      $10, $10, $9
+    ; newinword = !space ; words += newinword & !inword
+    sltiu   $11, $10, 1
+    xori    $12, $23, 1
+    and     $12, $12, $11
+    addu!f  $22, $22, $12
+    move!f  $23, $11
+    bne!s   $20, $16, CHLOOP
+
+.task targets=halt create=
+FINISH:
+    la      $9, results
+    sw      $21, 0($9)
+    sw      $22, 4($9)
+    la      $10, text
+    subu    $11, $20, $10
+    sw      $11, 8($9)
+    halt
+"#,
+        text_block = byte_block("text", &text),
+    );
+
+    Workload {
+        name: "Wc",
+        description: "per-character loop with forwarded counter chains \
+                      (lines/words/in-word state); losses from intra-task \
+                      loads and branches",
+        source,
+        checks: vec![
+            Check::word("results", 0, lines, "line count"),
+            Check::word("results", 4, words, "word count"),
+            Check::word("results", 8, n as u32, "char count"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+    use multiscalar::SimConfig;
+
+    #[test]
+    fn validates_on_scalar_and_multiscalar() {
+        check_workload(&workload(Scale::Test));
+    }
+
+    #[test]
+    fn counter_chain_pipelines_across_units() {
+        let w = workload(Scale::Test);
+        let s = w.run_scalar(SimConfig::scalar()).unwrap();
+        let m = w.run_multiscalar(SimConfig::multiscalar(8)).unwrap();
+        let speedup = s.cycles as f64 / m.cycles as f64;
+        assert!(speedup > 1.3, "wc speedup only {speedup:.2}");
+    }
+}

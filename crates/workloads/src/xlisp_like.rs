@@ -1,0 +1,148 @@
+//! SPECint92 `xlisp` kernel.
+//!
+//! Paper Section 5.3 groups xlisp with gcc: squashes and near-sequential
+//! execution of the important tasks, so multiscalar overheads produce
+//! slight slowdowns; the paper is "less confident" parallelism exists at
+//! all. The defining xlisp behaviour is allocator/GC pointer churn: every
+//! task pops cons cells from a global free list and pushes them back —
+//! a serial dependence chain through one memory word (`freehd`).
+
+use crate::data::Scale;
+use crate::{Check, Workload};
+use ms_asm::{assemble, AsmMode};
+
+/// Builds the xlisp-like workload.
+pub fn workload(scale: Scale) -> Workload {
+    let iters = scale.pick(24, 4000);
+    let ncells = 64usize;
+
+    // Free list: cells[i].next = cells[i+1], last = 0. Cell = {next, val}.
+    let mut cell_words = Vec::with_capacity(ncells * 2);
+    for i in 0..ncells {
+        cell_words.push(if i + 1 < ncells {
+            format!("cells+{}", (i + 1) * 8)
+        } else {
+            "0".to_string()
+        });
+        cell_words.push("0".to_string());
+    }
+    let mut cells_block = String::from(".align 3\ncells:\n");
+    for pair in cell_words.chunks(2) {
+        cells_block.push_str(&format!("  .word {}, {}\n", pair[0], pair[1]));
+    }
+
+    let source = format!(
+        r#"
+; xlisp-like allocator churn: every task pops two cells off the global
+; free list and pushes them back swapped — a serial chain through memory.
+.data
+{cells_block}
+.align 2
+freehd: .word cells
+final:  .word 0
+
+.text
+main:
+.task targets=ALLOC create=$16,$20
+INIT:
+    li!f    $16, {iters}
+    li!f    $20, 0
+    b!s     ALLOC
+
+.task targets=ALLOC,XDONE create=$20
+ALLOC:
+    addiu!f $20, $20, 1
+    la      $9, freehd
+    lw      $10, 0($9)         ; c1
+    lw      $11, 0($10)        ; c2 = c1.next
+    lw      $12, 0($11)        ; rest = c2.next
+    sw      $12, 0($9)         ; freehd = rest (pop both)
+    sw      $20, 4($10)        ; c1.val = i
+    sw      $20, 4($11)        ; c2.val = i
+    lw      $13, 0($9)         ; head (== rest)
+    sw      $13, 0($10)        ; c1.next = head
+    sw      $10, 0($11)        ; c2.next = c1
+    sw      $11, 0($9)         ; freehd = c2 (push back swapped)
+    bne!s   $20, $16, ALLOC
+
+.task targets=halt create=
+XDONE:
+    la      $9, freehd
+    lw      $10, 0($9)
+    la      $11, final
+    sw      $10, 0($11)
+    halt
+"#,
+    );
+
+    // Reference: replay the free-list mutation with real addresses, which
+    // requires the assembled symbol table.
+    let prog = assemble(&source, AsmMode::Scalar).expect("xlisp source assembles");
+    let cells = prog.symbol("cells").expect("cells symbol");
+    let addr = |i: usize| cells + (i * 8) as u32;
+    let index = |a: u32| ((a - cells) / 8) as usize;
+
+    let mut next: Vec<u32> = (0..ncells)
+        .map(|i| if i + 1 < ncells { addr(i + 1) } else { 0 })
+        .collect();
+    let mut val: Vec<u32> = vec![0; ncells];
+    let mut freehd = addr(0);
+    for i in 1..=iters as u32 {
+        let c1 = freehd;
+        let c2 = next[index(c1)];
+        let rest = next[index(c2)];
+        val[index(c1)] = i;
+        val[index(c2)] = i;
+        next[index(c1)] = rest;
+        next[index(c2)] = c1;
+        freehd = c2;
+    }
+
+    let mut checks = vec![
+        Check::word("final", 0, freehd, "final free-list head"),
+        Check::word("freehd", 0, freehd, "freehd word"),
+    ];
+    for i in 0..ncells {
+        checks.push(Check::word("cells", (i * 8) as u32, next[i], &format!("cell {i} next")));
+        checks.push(Check::word(
+            "cells",
+            (i * 8 + 4) as u32,
+            val[i],
+            &format!("cell {i} val"),
+        ));
+    }
+
+    Workload {
+        name: "Xlisp",
+        description: "allocator free-list churn: serial load/store chain \
+                      through a global head pointer (near-sequential, \
+                      squash-prone — slight slowdowns in the paper)",
+        source,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+
+    #[test]
+    fn validates_on_scalar_and_multiscalar() {
+        check_workload(&workload(Scale::Test));
+    }
+
+    #[test]
+    fn freelist_chain_serializes_units() {
+        let w = workload(Scale::Test);
+        let s = w.run_scalar(multiscalar::SimConfig::scalar()).unwrap();
+        let m = w
+            .run_multiscalar(multiscalar::SimConfig::multiscalar(8))
+            .unwrap();
+        let speedup = s.cycles as f64 / m.cycles as f64;
+        assert!(
+            speedup < 2.0,
+            "xlisp-like chain should not scale, got {speedup:.2}"
+        );
+    }
+}

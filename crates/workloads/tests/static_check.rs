@@ -1,0 +1,43 @@
+//! The static annotation checker must accept every workload's multiscalar
+//! binary: no exit missing from a descriptor, no unmarked task-boundary
+//! crossing, no forward/release outside a create mask.
+
+use ms_asm::AsmMode;
+use ms_cfg::{check_program, Severity};
+use ms_workloads::{suite, Scale};
+
+#[test]
+fn all_workload_annotations_pass_the_static_checker() {
+    for w in suite(Scale::Test) {
+        let prog = w.assemble(AsmMode::Multiscalar).expect("assembles");
+        let report = check_program(&prog);
+        let errors: Vec<String> = report
+            .of_severity(Severity::Error)
+            .map(|d| d.to_string())
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{}: static annotation errors:\n{}",
+            w.name,
+            errors.join("\n")
+        );
+    }
+}
+
+#[test]
+fn checker_discovers_every_task() {
+    for w in suite(Scale::Test) {
+        let prog = w.assemble(AsmMode::Multiscalar).expect("assembles");
+        let report = check_program(&prog);
+        assert_eq!(
+            report.tasks.len(),
+            prog.tasks.len(),
+            "{}: not all tasks analysed",
+            w.name
+        );
+        for t in &report.tasks {
+            assert!(t.reachable > 0, "{}: empty task {:#x}", w.name, t.entry);
+            assert!(!t.exits.is_empty(), "{}: no exits for task {:#x}", w.name, t.entry);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # multiscalar-repro — reproduction of *Multiscalar Processors* (ISCA 1995)
+//!
+//! This is the umbrella crate of the workspace; it re-exports the full
+//! stack so examples and integration tests can use one import. See the
+//! member crates for the implementation:
+//!
+//! * [`ms_isa`] — the annotated instruction set,
+//! * [`ms_asm`] — the assembler (scalar + multiscalar binaries from one
+//!   source),
+//! * [`ms_memsys`] — memory, caches, bus, and the Address Resolution
+//!   Buffer,
+//! * [`ms_pipeline`] — the processing-unit pipeline,
+//! * [`ms_predictor`] — task prediction, return-address stack, descriptor
+//!   cache,
+//! * [`multiscalar`] — the multiscalar processor and the scalar baseline,
+//! * [`ms_workloads`] — the evaluation benchmark suite.
+
+pub use ms_asm;
+pub use ms_cfg;
+pub use ms_isa;
+pub use ms_memsys;
+pub use ms_pipeline;
+pub use ms_predictor;
+pub use ms_workloads;
+pub use multiscalar;

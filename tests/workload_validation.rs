@@ -1,0 +1,92 @@
+//! Every benchmark validates its architectural results against the Rust
+//! reference implementation under every processor configuration class.
+//!
+//! This is the strongest end-to-end statement the suite makes: the
+//! multiscalar machinery (speculative tasks, register ring, ARB, squash
+//! and recovery) is *functionally invisible* — parallel execution always
+//! produces the sequential results.
+
+use ms_workloads::{suite, Scale};
+use multiscalar::SimConfig;
+
+#[test]
+fn scalar_baseline_validates_all_workloads() {
+    for w in suite(Scale::Test) {
+        w.run_scalar(SimConfig::scalar())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn four_unit_multiscalar_validates_all_workloads() {
+    for w in suite(Scale::Test) {
+        w.run_multiscalar(SimConfig::multiscalar(4))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn eight_unit_multiscalar_validates_all_workloads() {
+    for w in suite(Scale::Test) {
+        w.run_multiscalar(SimConfig::multiscalar(8))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn two_way_out_of_order_validates_all_workloads() {
+    for w in suite(Scale::Test) {
+        w.run_multiscalar(SimConfig::multiscalar(4).issue(2).out_of_order(true))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn two_unit_and_single_unit_multiscalar_validate() {
+    // Degenerate unit counts exercise ring wrap-around and head==tail.
+    for w in suite(Scale::Test) {
+        for units in [1usize, 2] {
+            w.run_multiscalar(SimConfig::multiscalar(units))
+                .unwrap_or_else(|e| panic!("{} @{units}: {e}", w.name));
+        }
+    }
+}
+
+#[test]
+fn instruction_counts_never_shrink_in_multiscalar_mode() {
+    // Table 2's invariant: the annotated binary executes at least as many
+    // instructions as the plain one.
+    for w in suite(Scale::Test) {
+        let s = w.run_scalar(SimConfig::scalar()).unwrap();
+        let m = w.run_multiscalar(SimConfig::multiscalar(4)).unwrap();
+        assert!(
+            m.instructions >= s.instructions,
+            "{}: ms {} < scalar {}",
+            w.name,
+            m.instructions,
+            s.instructions
+        );
+        // And the overhead stays in a sane band (paper: 1.4%..17.3%).
+        let pct = 100.0 * (m.instructions - s.instructions) as f64 / s.instructions as f64;
+        assert!(pct < 30.0, "{}: overhead {pct:.1}% is out of band", w.name);
+    }
+}
+
+#[test]
+fn speedup_ordering_matches_the_paper_shape() {
+    // The qualitative result of Table 3: cmp/tomcatv/wc/Example speed up
+    // well; xlisp does not.
+    let speedup = |name: &str| {
+        let w = ms_workloads::by_name(name, Scale::Test).unwrap();
+        let s = w.run_scalar(SimConfig::scalar()).unwrap();
+        let m = w.run_multiscalar(SimConfig::multiscalar(8)).unwrap();
+        s.cycles as f64 / m.cycles as f64
+    };
+    let cmp = speedup("Cmp");
+    let xlisp = speedup("Xlisp");
+    let wc = speedup("Wc");
+    assert!(cmp > 2.0, "cmp should scale, got {cmp:.2}");
+    assert!(wc > 1.3, "wc should scale, got {wc:.2}");
+    assert!(xlisp < 1.5, "xlisp must not scale, got {xlisp:.2}");
+    assert!(cmp > xlisp);
+}
