@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverage-2323ff2a115dd122.d: crates/isa/tests/coverage.rs
+
+/root/repo/target/debug/deps/coverage-2323ff2a115dd122: crates/isa/tests/coverage.rs
+
+crates/isa/tests/coverage.rs:

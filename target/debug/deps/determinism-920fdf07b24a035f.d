@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-920fdf07b24a035f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-920fdf07b24a035f: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a5caa8b1a9812146.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a5caa8b1a9812146: tests/determinism.rs
+
+tests/determinism.rs:

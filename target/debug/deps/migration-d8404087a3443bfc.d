@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration-d8404087a3443bfc.d: crates/workloads/tests/migration.rs
+
+/root/repo/target/debug/deps/migration-d8404087a3443bfc: crates/workloads/tests/migration.rs
+
+crates/workloads/tests/migration.rs:

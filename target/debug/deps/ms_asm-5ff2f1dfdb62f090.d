@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ms_asm-5ff2f1dfdb62f090.d: crates/asm/src/lib.rs crates/asm/src/assemble.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/parser.rs
+
+/root/repo/target/debug/deps/ms_asm-5ff2f1dfdb62f090: crates/asm/src/lib.rs crates/asm/src/assemble.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/parser.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/assemble.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parser.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ms_asm-b9cb5609edfe2583.d: crates/asm/src/lib.rs crates/asm/src/assemble.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/parser.rs
+
+/root/repo/target/debug/deps/libms_asm-b9cb5609edfe2583.rlib: crates/asm/src/lib.rs crates/asm/src/assemble.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/parser.rs
+
+/root/repo/target/debug/deps/libms_asm-b9cb5609edfe2583.rmeta: crates/asm/src/lib.rs crates/asm/src/assemble.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/parser.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/assemble.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parser.rs:

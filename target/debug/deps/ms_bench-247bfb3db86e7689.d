@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ms_bench-247bfb3db86e7689.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libms_bench-247bfb3db86e7689.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libms_bench-247bfb3db86e7689.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

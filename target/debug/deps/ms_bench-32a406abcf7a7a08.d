@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ms_bench-32a406abcf7a7a08.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ms_bench-32a406abcf7a7a08: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ms_cfg-3b91af9d3575a817.d: crates/cfg/src/lib.rs crates/cfg/src/summary.rs crates/cfg/src/taskcheck.rs
+
+/root/repo/target/debug/deps/libms_cfg-3b91af9d3575a817.rlib: crates/cfg/src/lib.rs crates/cfg/src/summary.rs crates/cfg/src/taskcheck.rs
+
+/root/repo/target/debug/deps/libms_cfg-3b91af9d3575a817.rmeta: crates/cfg/src/lib.rs crates/cfg/src/summary.rs crates/cfg/src/taskcheck.rs
+
+crates/cfg/src/lib.rs:
+crates/cfg/src/summary.rs:
+crates/cfg/src/taskcheck.rs:

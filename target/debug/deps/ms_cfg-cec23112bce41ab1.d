@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ms_cfg-cec23112bce41ab1.d: crates/cfg/src/lib.rs crates/cfg/src/summary.rs crates/cfg/src/taskcheck.rs
+
+/root/repo/target/debug/deps/ms_cfg-cec23112bce41ab1: crates/cfg/src/lib.rs crates/cfg/src/summary.rs crates/cfg/src/taskcheck.rs
+
+crates/cfg/src/lib.rs:
+crates/cfg/src/summary.rs:
+crates/cfg/src/taskcheck.rs:

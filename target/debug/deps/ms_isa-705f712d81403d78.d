@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ms_isa-705f712d81403d78.d: crates/isa/src/lib.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/tags.rs crates/isa/src/task.rs
+
+/root/repo/target/debug/deps/libms_isa-705f712d81403d78.rlib: crates/isa/src/lib.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/tags.rs crates/isa/src/task.rs
+
+/root/repo/target/debug/deps/libms_isa-705f712d81403d78.rmeta: crates/isa/src/lib.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/tags.rs crates/isa/src/task.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/op.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/tags.rs:
+crates/isa/src/task.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ms_isa-9c6fa72a6d575a02.d: crates/isa/src/lib.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/tags.rs crates/isa/src/task.rs
+
+/root/repo/target/debug/deps/ms_isa-9c6fa72a6d575a02: crates/isa/src/lib.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/tags.rs crates/isa/src/task.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/op.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/tags.rs:
+crates/isa/src/task.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ms_memsys-53cf1cd9a62b8252.d: crates/memsys/src/lib.rs crates/memsys/src/arb.rs crates/memsys/src/banks.rs crates/memsys/src/bus.rs crates/memsys/src/cache.rs crates/memsys/src/icache.rs crates/memsys/src/mem.rs
+
+/root/repo/target/debug/deps/ms_memsys-53cf1cd9a62b8252: crates/memsys/src/lib.rs crates/memsys/src/arb.rs crates/memsys/src/banks.rs crates/memsys/src/bus.rs crates/memsys/src/cache.rs crates/memsys/src/icache.rs crates/memsys/src/mem.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/arb.rs:
+crates/memsys/src/banks.rs:
+crates/memsys/src/bus.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/icache.rs:
+crates/memsys/src/mem.rs:

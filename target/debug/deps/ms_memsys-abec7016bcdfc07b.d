@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ms_memsys-abec7016bcdfc07b.d: crates/memsys/src/lib.rs crates/memsys/src/arb.rs crates/memsys/src/banks.rs crates/memsys/src/bus.rs crates/memsys/src/cache.rs crates/memsys/src/icache.rs crates/memsys/src/mem.rs
+
+/root/repo/target/debug/deps/libms_memsys-abec7016bcdfc07b.rlib: crates/memsys/src/lib.rs crates/memsys/src/arb.rs crates/memsys/src/banks.rs crates/memsys/src/bus.rs crates/memsys/src/cache.rs crates/memsys/src/icache.rs crates/memsys/src/mem.rs
+
+/root/repo/target/debug/deps/libms_memsys-abec7016bcdfc07b.rmeta: crates/memsys/src/lib.rs crates/memsys/src/arb.rs crates/memsys/src/banks.rs crates/memsys/src/bus.rs crates/memsys/src/cache.rs crates/memsys/src/icache.rs crates/memsys/src/mem.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/arb.rs:
+crates/memsys/src/banks.rs:
+crates/memsys/src/bus.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/icache.rs:
+crates/memsys/src/mem.rs:

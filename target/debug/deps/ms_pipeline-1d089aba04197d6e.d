@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ms_pipeline-1d089aba04197d6e.d: crates/pipeline/src/lib.rs crates/pipeline/src/exec.rs crates/pipeline/src/fu.rs crates/pipeline/src/regfile.rs crates/pipeline/src/unit.rs
+
+/root/repo/target/debug/deps/libms_pipeline-1d089aba04197d6e.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/exec.rs crates/pipeline/src/fu.rs crates/pipeline/src/regfile.rs crates/pipeline/src/unit.rs
+
+/root/repo/target/debug/deps/libms_pipeline-1d089aba04197d6e.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/exec.rs crates/pipeline/src/fu.rs crates/pipeline/src/regfile.rs crates/pipeline/src/unit.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/exec.rs:
+crates/pipeline/src/fu.rs:
+crates/pipeline/src/regfile.rs:
+crates/pipeline/src/unit.rs:

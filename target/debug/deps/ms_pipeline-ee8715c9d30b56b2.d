@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ms_pipeline-ee8715c9d30b56b2.d: crates/pipeline/src/lib.rs crates/pipeline/src/exec.rs crates/pipeline/src/fu.rs crates/pipeline/src/regfile.rs crates/pipeline/src/unit.rs
+
+/root/repo/target/debug/deps/ms_pipeline-ee8715c9d30b56b2: crates/pipeline/src/lib.rs crates/pipeline/src/exec.rs crates/pipeline/src/fu.rs crates/pipeline/src/regfile.rs crates/pipeline/src/unit.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/exec.rs:
+crates/pipeline/src/fu.rs:
+crates/pipeline/src/regfile.rs:
+crates/pipeline/src/unit.rs:

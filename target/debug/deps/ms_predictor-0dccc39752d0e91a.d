@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ms_predictor-0dccc39752d0e91a.d: crates/predictor/src/lib.rs
+
+/root/repo/target/debug/deps/ms_predictor-0dccc39752d0e91a: crates/predictor/src/lib.rs
+
+crates/predictor/src/lib.rs:

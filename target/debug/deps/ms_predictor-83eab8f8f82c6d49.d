@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ms_predictor-83eab8f8f82c6d49.d: crates/predictor/src/lib.rs
+
+/root/repo/target/debug/deps/libms_predictor-83eab8f8f82c6d49.rlib: crates/predictor/src/lib.rs
+
+/root/repo/target/debug/deps/libms_predictor-83eab8f8f82c6d49.rmeta: crates/predictor/src/lib.rs
+
+crates/predictor/src/lib.rs:

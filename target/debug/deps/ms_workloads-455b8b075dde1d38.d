@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ms_workloads-455b8b075dde1d38.d: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/data.rs crates/workloads/src/eqntott.rs crates/workloads/src/espresso.rs crates/workloads/src/gcc_like.rs crates/workloads/src/sc_like.rs crates/workloads/src/symsearch.rs crates/workloads/src/tomcatv.rs crates/workloads/src/wc.rs crates/workloads/src/xlisp_like.rs
+
+/root/repo/target/debug/deps/libms_workloads-455b8b075dde1d38.rlib: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/data.rs crates/workloads/src/eqntott.rs crates/workloads/src/espresso.rs crates/workloads/src/gcc_like.rs crates/workloads/src/sc_like.rs crates/workloads/src/symsearch.rs crates/workloads/src/tomcatv.rs crates/workloads/src/wc.rs crates/workloads/src/xlisp_like.rs
+
+/root/repo/target/debug/deps/libms_workloads-455b8b075dde1d38.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/data.rs crates/workloads/src/eqntott.rs crates/workloads/src/espresso.rs crates/workloads/src/gcc_like.rs crates/workloads/src/sc_like.rs crates/workloads/src/symsearch.rs crates/workloads/src/tomcatv.rs crates/workloads/src/wc.rs crates/workloads/src/xlisp_like.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cmp.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/eqntott.rs:
+crates/workloads/src/espresso.rs:
+crates/workloads/src/gcc_like.rs:
+crates/workloads/src/sc_like.rs:
+crates/workloads/src/symsearch.rs:
+crates/workloads/src/tomcatv.rs:
+crates/workloads/src/wc.rs:
+crates/workloads/src/xlisp_like.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ms_workloads-f9fdffbbce4bd29c.d: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/data.rs crates/workloads/src/eqntott.rs crates/workloads/src/espresso.rs crates/workloads/src/gcc_like.rs crates/workloads/src/sc_like.rs crates/workloads/src/symsearch.rs crates/workloads/src/tomcatv.rs crates/workloads/src/wc.rs crates/workloads/src/xlisp_like.rs
+
+/root/repo/target/debug/deps/ms_workloads-f9fdffbbce4bd29c: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/data.rs crates/workloads/src/eqntott.rs crates/workloads/src/espresso.rs crates/workloads/src/gcc_like.rs crates/workloads/src/sc_like.rs crates/workloads/src/symsearch.rs crates/workloads/src/tomcatv.rs crates/workloads/src/wc.rs crates/workloads/src/xlisp_like.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cmp.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/eqntott.rs:
+crates/workloads/src/espresso.rs:
+crates/workloads/src/gcc_like.rs:
+crates/workloads/src/sc_like.rs:
+crates/workloads/src/symsearch.rs:
+crates/workloads/src/tomcatv.rs:
+crates/workloads/src/wc.rs:
+crates/workloads/src/xlisp_like.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mscheck-50703cd33a6d21a4.d: crates/cfg/src/bin/mscheck.rs
+
+/root/repo/target/debug/deps/mscheck-50703cd33a6d21a4: crates/cfg/src/bin/mscheck.rs
+
+crates/cfg/src/bin/mscheck.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/multiscalar-2437dd7a3623f2e6.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/processor.rs crates/core/src/ring.rs crates/core/src/scalar.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/multiscalar-2437dd7a3623f2e6: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/processor.rs crates/core/src/ring.rs crates/core/src/scalar.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/processor.rs:
+crates/core/src/ring.rs:
+crates/core/src/scalar.rs:
+crates/core/src/stats.rs:

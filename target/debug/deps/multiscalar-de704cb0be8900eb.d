@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/multiscalar-de704cb0be8900eb.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/processor.rs crates/core/src/ring.rs crates/core/src/scalar.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libmultiscalar-de704cb0be8900eb.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/processor.rs crates/core/src/ring.rs crates/core/src/scalar.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libmultiscalar-de704cb0be8900eb.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/processor.rs crates/core/src/ring.rs crates/core/src/scalar.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/processor.rs:
+crates/core/src/ring.rs:
+crates/core/src/scalar.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multiscalar_repro-2f9eb6d85cbf047f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmultiscalar_repro-2f9eb6d85cbf047f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmultiscalar_repro-2f9eb6d85cbf047f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiscalar_repro-689aa9ee726e9d62.d: src/lib.rs
+
+/root/repo/target/debug/deps/multiscalar_repro-689aa9ee726e9d62: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multiscalar_repro-d09b10255c969ed7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmultiscalar_repro-d09b10255c969ed7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmultiscalar_repro-d09b10255c969ed7.rmeta: src/lib.rs
+
+src/lib.rs:

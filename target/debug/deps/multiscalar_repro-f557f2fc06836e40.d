@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiscalar_repro-f557f2fc06836e40.d: src/lib.rs
+
+/root/repo/target/debug/deps/multiscalar_repro-f557f2fc06836e40: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-1a48794fb258e694.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-1a48794fb258e694: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-4747a1458199de44.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-4747a1458199de44: tests/props.rs
+
+tests/props.rs:

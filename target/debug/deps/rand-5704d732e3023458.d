@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5704d732e3023458.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-5704d732e3023458: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a3d170ad1329aae7.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a3d170ad1329aae7.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a3d170ad1329aae7.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speed-707f7449fb3a964d.d: crates/workloads/src/bin/speed.rs
+
+/root/repo/target/debug/deps/speed-707f7449fb3a964d: crates/workloads/src/bin/speed.rs
+
+crates/workloads/src/bin/speed.rs:

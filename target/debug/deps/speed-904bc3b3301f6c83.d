@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speed-904bc3b3301f6c83.d: crates/workloads/src/bin/speed.rs
+
+/root/repo/target/debug/deps/speed-904bc3b3301f6c83: crates/workloads/src/bin/speed.rs
+
+crates/workloads/src/bin/speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/squash_recovery-0b96c27110c0aec2.d: tests/squash_recovery.rs
+
+/root/repo/target/debug/deps/squash_recovery-0b96c27110c0aec2: tests/squash_recovery.rs
+
+tests/squash_recovery.rs:

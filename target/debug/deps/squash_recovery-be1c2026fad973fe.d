@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/squash_recovery-be1c2026fad973fe.d: tests/squash_recovery.rs
+
+/root/repo/target/debug/deps/squash_recovery-be1c2026fad973fe: tests/squash_recovery.rs
+
+tests/squash_recovery.rs:

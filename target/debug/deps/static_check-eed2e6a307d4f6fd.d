@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_check-eed2e6a307d4f6fd.d: crates/workloads/tests/static_check.rs
+
+/root/repo/target/debug/deps/static_check-eed2e6a307d4f6fd: crates/workloads/tests/static_check.rs
+
+crates/workloads/tests/static_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-8779b2e97ea0fea8.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-8779b2e97ea0fea8: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

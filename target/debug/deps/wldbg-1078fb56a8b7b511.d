@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wldbg-1078fb56a8b7b511.d: crates/workloads/src/bin/wldbg.rs
+
+/root/repo/target/debug/deps/wldbg-1078fb56a8b7b511: crates/workloads/src/bin/wldbg.rs
+
+crates/workloads/src/bin/wldbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wldbg-f7d869c474191626.d: crates/workloads/src/bin/wldbg.rs
+
+/root/repo/target/debug/deps/wldbg-f7d869c474191626: crates/workloads/src/bin/wldbg.rs
+
+crates/workloads/src/bin/wldbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wlstep-17237924d9133448.d: crates/workloads/src/bin/wlstep.rs
+
+/root/repo/target/debug/deps/wlstep-17237924d9133448: crates/workloads/src/bin/wlstep.rs
+
+crates/workloads/src/bin/wlstep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wlstep-3712526e0f4fd2bf.d: crates/workloads/src/bin/wlstep.rs
+
+/root/repo/target/debug/deps/wlstep-3712526e0f4fd2bf: crates/workloads/src/bin/wlstep.rs
+
+crates/workloads/src/bin/wlstep.rs:

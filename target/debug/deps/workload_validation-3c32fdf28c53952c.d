@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_validation-3c32fdf28c53952c.d: tests/workload_validation.rs
+
+/root/repo/target/debug/deps/workload_validation-3c32fdf28c53952c: tests/workload_validation.rs
+
+tests/workload_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_validation-eac00f7a53f13a5d.d: tests/workload_validation.rs
+
+/root/repo/target/debug/deps/workload_validation-eac00f7a53f13a5d: tests/workload_validation.rs
+
+tests/workload_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/annotated_task-2665c2b48744a4b7.d: examples/annotated_task.rs
+
+/root/repo/target/debug/examples/annotated_task-2665c2b48744a4b7: examples/annotated_task.rs
+
+examples/annotated_task.rs:

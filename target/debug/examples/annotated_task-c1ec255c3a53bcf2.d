@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/annotated_task-c1ec255c3a53bcf2.d: examples/annotated_task.rs
+
+/root/repo/target/debug/examples/annotated_task-c1ec255c3a53bcf2: examples/annotated_task.rs
+
+examples/annotated_task.rs:

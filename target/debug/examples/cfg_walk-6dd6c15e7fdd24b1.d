@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cfg_walk-6dd6c15e7fdd24b1.d: examples/cfg_walk.rs
+
+/root/repo/target/debug/examples/cfg_walk-6dd6c15e7fdd24b1: examples/cfg_walk.rs
+
+examples/cfg_walk.rs:

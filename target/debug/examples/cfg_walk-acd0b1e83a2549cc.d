@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cfg_walk-acd0b1e83a2549cc.d: examples/cfg_walk.rs
+
+/root/repo/target/debug/examples/cfg_walk-acd0b1e83a2549cc: examples/cfg_walk.rs
+
+examples/cfg_walk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cycle_breakdown-8569f6dc7ccd59c8.d: examples/cycle_breakdown.rs
+
+/root/repo/target/debug/examples/cycle_breakdown-8569f6dc7ccd59c8: examples/cycle_breakdown.rs
+
+examples/cycle_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cycle_breakdown-eddf4910e70a3d56.d: examples/cycle_breakdown.rs
+
+/root/repo/target/debug/examples/cycle_breakdown-eddf4910e70a3d56: examples/cycle_breakdown.rs
+
+examples/cycle_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migrate_binary-0a6bd73e55da2b4a.d: examples/migrate_binary.rs
+
+/root/repo/target/debug/examples/migrate_binary-0a6bd73e55da2b4a: examples/migrate_binary.rs
+
+examples/migrate_binary.rs:

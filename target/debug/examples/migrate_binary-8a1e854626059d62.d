@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migrate_binary-8a1e854626059d62.d: examples/migrate_binary.rs
+
+/root/repo/target/debug/examples/migrate_binary-8a1e854626059d62: examples/migrate_binary.rs
+
+examples/migrate_binary.rs:

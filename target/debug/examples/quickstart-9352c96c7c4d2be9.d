@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9352c96c7c4d2be9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9352c96c7c4d2be9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b28c758034478405.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b28c758034478405: examples/quickstart.rs
+
+examples/quickstart.rs:

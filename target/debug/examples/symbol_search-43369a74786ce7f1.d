@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/symbol_search-43369a74786ce7f1.d: examples/symbol_search.rs
+
+/root/repo/target/debug/examples/symbol_search-43369a74786ce7f1: examples/symbol_search.rs
+
+examples/symbol_search.rs:

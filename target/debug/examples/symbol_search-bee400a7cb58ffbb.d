@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/symbol_search-bee400a7cb58ffbb.d: examples/symbol_search.rs
+
+/root/repo/target/debug/examples/symbol_search-bee400a7cb58ffbb: examples/symbol_search.rs
+
+examples/symbol_search.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ms_asm-3bd33450c53764ea.d: crates/asm/src/lib.rs crates/asm/src/assemble.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/parser.rs
+
+/root/repo/target/release/deps/libms_asm-3bd33450c53764ea.rlib: crates/asm/src/lib.rs crates/asm/src/assemble.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/parser.rs
+
+/root/repo/target/release/deps/libms_asm-3bd33450c53764ea.rmeta: crates/asm/src/lib.rs crates/asm/src/assemble.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/parser.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/assemble.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parser.rs:

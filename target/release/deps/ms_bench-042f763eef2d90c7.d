@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ms_bench-042f763eef2d90c7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libms_bench-042f763eef2d90c7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libms_bench-042f763eef2d90c7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

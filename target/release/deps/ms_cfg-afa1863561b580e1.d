@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ms_cfg-afa1863561b580e1.d: crates/cfg/src/lib.rs crates/cfg/src/summary.rs crates/cfg/src/taskcheck.rs
+
+/root/repo/target/release/deps/libms_cfg-afa1863561b580e1.rlib: crates/cfg/src/lib.rs crates/cfg/src/summary.rs crates/cfg/src/taskcheck.rs
+
+/root/repo/target/release/deps/libms_cfg-afa1863561b580e1.rmeta: crates/cfg/src/lib.rs crates/cfg/src/summary.rs crates/cfg/src/taskcheck.rs
+
+crates/cfg/src/lib.rs:
+crates/cfg/src/summary.rs:
+crates/cfg/src/taskcheck.rs:

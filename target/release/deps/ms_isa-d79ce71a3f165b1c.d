@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ms_isa-d79ce71a3f165b1c.d: crates/isa/src/lib.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/tags.rs crates/isa/src/task.rs
+
+/root/repo/target/release/deps/libms_isa-d79ce71a3f165b1c.rlib: crates/isa/src/lib.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/tags.rs crates/isa/src/task.rs
+
+/root/repo/target/release/deps/libms_isa-d79ce71a3f165b1c.rmeta: crates/isa/src/lib.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/tags.rs crates/isa/src/task.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/op.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/tags.rs:
+crates/isa/src/task.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ms_memsys-854440fed30cc341.d: crates/memsys/src/lib.rs crates/memsys/src/arb.rs crates/memsys/src/banks.rs crates/memsys/src/bus.rs crates/memsys/src/cache.rs crates/memsys/src/icache.rs crates/memsys/src/mem.rs
+
+/root/repo/target/release/deps/libms_memsys-854440fed30cc341.rlib: crates/memsys/src/lib.rs crates/memsys/src/arb.rs crates/memsys/src/banks.rs crates/memsys/src/bus.rs crates/memsys/src/cache.rs crates/memsys/src/icache.rs crates/memsys/src/mem.rs
+
+/root/repo/target/release/deps/libms_memsys-854440fed30cc341.rmeta: crates/memsys/src/lib.rs crates/memsys/src/arb.rs crates/memsys/src/banks.rs crates/memsys/src/bus.rs crates/memsys/src/cache.rs crates/memsys/src/icache.rs crates/memsys/src/mem.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/arb.rs:
+crates/memsys/src/banks.rs:
+crates/memsys/src/bus.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/icache.rs:
+crates/memsys/src/mem.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ms_pipeline-6e5af0fb415f9243.d: crates/pipeline/src/lib.rs crates/pipeline/src/exec.rs crates/pipeline/src/fu.rs crates/pipeline/src/regfile.rs crates/pipeline/src/unit.rs
+
+/root/repo/target/release/deps/libms_pipeline-6e5af0fb415f9243.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/exec.rs crates/pipeline/src/fu.rs crates/pipeline/src/regfile.rs crates/pipeline/src/unit.rs
+
+/root/repo/target/release/deps/libms_pipeline-6e5af0fb415f9243.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/exec.rs crates/pipeline/src/fu.rs crates/pipeline/src/regfile.rs crates/pipeline/src/unit.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/exec.rs:
+crates/pipeline/src/fu.rs:
+crates/pipeline/src/regfile.rs:
+crates/pipeline/src/unit.rs:

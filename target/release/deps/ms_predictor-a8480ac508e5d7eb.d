@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ms_predictor-a8480ac508e5d7eb.d: crates/predictor/src/lib.rs
+
+/root/repo/target/release/deps/libms_predictor-a8480ac508e5d7eb.rlib: crates/predictor/src/lib.rs
+
+/root/repo/target/release/deps/libms_predictor-a8480ac508e5d7eb.rmeta: crates/predictor/src/lib.rs
+
+crates/predictor/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ms_workloads-eecaca3bf4cf5ffd.d: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/data.rs crates/workloads/src/eqntott.rs crates/workloads/src/espresso.rs crates/workloads/src/gcc_like.rs crates/workloads/src/sc_like.rs crates/workloads/src/symsearch.rs crates/workloads/src/tomcatv.rs crates/workloads/src/wc.rs crates/workloads/src/xlisp_like.rs
+
+/root/repo/target/release/deps/libms_workloads-eecaca3bf4cf5ffd.rlib: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/data.rs crates/workloads/src/eqntott.rs crates/workloads/src/espresso.rs crates/workloads/src/gcc_like.rs crates/workloads/src/sc_like.rs crates/workloads/src/symsearch.rs crates/workloads/src/tomcatv.rs crates/workloads/src/wc.rs crates/workloads/src/xlisp_like.rs
+
+/root/repo/target/release/deps/libms_workloads-eecaca3bf4cf5ffd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/data.rs crates/workloads/src/eqntott.rs crates/workloads/src/espresso.rs crates/workloads/src/gcc_like.rs crates/workloads/src/sc_like.rs crates/workloads/src/symsearch.rs crates/workloads/src/tomcatv.rs crates/workloads/src/wc.rs crates/workloads/src/xlisp_like.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cmp.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/eqntott.rs:
+crates/workloads/src/espresso.rs:
+crates/workloads/src/gcc_like.rs:
+crates/workloads/src/sc_like.rs:
+crates/workloads/src/symsearch.rs:
+crates/workloads/src/tomcatv.rs:
+crates/workloads/src/wc.rs:
+crates/workloads/src/xlisp_like.rs:

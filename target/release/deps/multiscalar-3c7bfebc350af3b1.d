@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/multiscalar-3c7bfebc350af3b1.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/processor.rs crates/core/src/ring.rs crates/core/src/scalar.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libmultiscalar-3c7bfebc350af3b1.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/processor.rs crates/core/src/ring.rs crates/core/src/scalar.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libmultiscalar-3c7bfebc350af3b1.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/processor.rs crates/core/src/ring.rs crates/core/src/scalar.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/processor.rs:
+crates/core/src/ring.rs:
+crates/core/src/scalar.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/multiscalar_repro-eca815d4e3528cb2.d: src/lib.rs
+
+/root/repo/target/release/deps/libmultiscalar_repro-eca815d4e3528cb2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmultiscalar_repro-eca815d4e3528cb2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-15523c102c57d696.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-15523c102c57d696.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-15523c102c57d696.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

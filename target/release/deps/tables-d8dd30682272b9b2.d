@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-d8dd30682272b9b2.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-d8dd30682272b9b2: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

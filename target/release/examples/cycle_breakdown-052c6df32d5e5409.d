@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cycle_breakdown-052c6df32d5e5409.d: examples/cycle_breakdown.rs
+
+/root/repo/target/release/examples/cycle_breakdown-052c6df32d5e5409: examples/cycle_breakdown.rs
+
+examples/cycle_breakdown.rs:

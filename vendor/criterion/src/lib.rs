@@ -1,0 +1,193 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses (the container has no crates.io access, so external
+//! deps are vendored as minimal local implementations).
+//!
+//! It measures for real: each `bench_function` estimates the per-call
+//! cost, sizes batches to ~10 ms, takes `sample_size` timed samples, and
+//! prints min/median ns-per-iteration — enough to compare runs (e.g. the
+//! NullSink-overhead acceptance check), without upstream's statistics or
+//! HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+const WARMUP: Duration = Duration::from_millis(25);
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards CLI args; honor a plain substring filter
+        // and ignore harness flags like `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = name.to_string();
+        run_one(&full, 20, self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// Throughput annotation (recorded for API compatibility; reporting is
+/// ns/iter either way).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Records the per-iteration throughput (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    sample_size: usize,
+    /// ns per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` samples of a batch sized to
+    /// roughly 10 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the per-call cost.
+        let start = Instant::now();
+        let mut calls: u64 = 0;
+        while start.elapsed() < WARMUP {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = start.elapsed().as_secs_f64() / calls as f64;
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_call) as u64).clamp(1, 1_000_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, filter: Option<&str>, mut f: F) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher { sample_size, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples: closure never called iter)");
+        return;
+    }
+    let mut s = b.samples.clone();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = s[s.len() / 2];
+    let min = s[0];
+    println!(
+        "{name:<40} time: [min {:>12} median {:>12}] ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        s.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher { sample_size: 3, samples: Vec::new() };
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&ns| ns > 0.0));
+    }
+}
