@@ -12,12 +12,10 @@
 //! `.scalar_begin`/`.scalar_end` blocks are kept, and vice versa.
 
 use crate::error::{AsmError, AsmErrorKind};
-use crate::parser::{
-    parse_line, DataItem, DataKind, Operand, Section, Stmt, TargetSpec,
-};
+use crate::parser::{parse_line, DataItem, DataKind, Operand, Section, Stmt, TargetSpec};
 use ms_isa::{
-    DataSegment, FpArithKind, FpCmpCond, Instr, MemWidth, Op, Prec, Program, Reg, RegList,
-    RegMask, TagBits, TaskDescriptor, TaskTarget, DATA_BASE, TEXT_BASE,
+    DataSegment, FpArithKind, FpCmpCond, Instr, MemWidth, Op, Prec, Program, Reg, RegList, RegMask,
+    TagBits, TaskDescriptor, TaskTarget, DATA_BASE, TEXT_BASE,
 };
 use std::collections::BTreeMap;
 
@@ -76,9 +74,10 @@ fn filter_mode(stmts: Vec<(usize, Stmt)>, mode: AsmMode) -> Result<Vec<(usize, S
         match stmt {
             Stmt::MsBegin => {
                 if scalar_depth > 0 {
-                    return Err(err(line, AsmErrorKind::Directive(
-                        ".ms_begin inside a scalar block".into(),
-                    )));
+                    return Err(err(
+                        line,
+                        AsmErrorKind::Directive(".ms_begin inside a scalar block".into()),
+                    ));
                 }
                 ms_depth += 1;
             }
@@ -89,17 +88,16 @@ fn filter_mode(stmts: Vec<(usize, Stmt)>, mode: AsmMode) -> Result<Vec<(usize, S
             }
             Stmt::ScalarBegin => {
                 if ms_depth > 0 {
-                    return Err(err(line, AsmErrorKind::Directive(
-                        ".scalar_begin inside a multiscalar block".into(),
-                    )));
+                    return Err(err(
+                        line,
+                        AsmErrorKind::Directive(".scalar_begin inside a multiscalar block".into()),
+                    ));
                 }
                 scalar_depth += 1;
             }
             Stmt::ScalarEnd => {
                 scalar_depth = scalar_depth.checked_sub(1).ok_or_else(|| {
-                    err(line, AsmErrorKind::Directive(
-                        ".scalar_end without .scalar_begin".into(),
-                    ))
+                    err(line, AsmErrorKind::Directive(".scalar_end without .scalar_begin".into()))
                 })?;
             }
             other => {
@@ -154,9 +152,10 @@ fn layout(stmts: &[(usize, Stmt)], mode: AsmMode) -> Result<Layout, AsmError> {
             }
             Stmt::Data(kind, items) => {
                 if section != Section::Data {
-                    return Err(err(*line, AsmErrorKind::Directive(
-                        "data directive outside .data".into(),
-                    )));
+                    return Err(err(
+                        *line,
+                        AsmErrorKind::Directive("data directive outside .data".into()),
+                    ));
                 }
                 data_pc = align_up(data_pc, kind.size());
                 data_pc += kind.size() * items.len() as u32;
@@ -177,9 +176,10 @@ fn layout(stmts: &[(usize, Stmt)], mode: AsmMode) -> Result<Layout, AsmError> {
             Stmt::Entry(_) | Stmt::Task { .. } => {}
             Stmt::Ins { mnem, tags: _, ops } => {
                 if section != Section::Text {
-                    return Err(err(*line, AsmErrorKind::Directive(
-                        "instruction outside .text".into(),
-                    )));
+                    return Err(err(
+                        *line,
+                        AsmErrorKind::Directive("instruction outside .text".into()),
+                    ));
                 }
                 text_pc += 4 * size_in_words(mnem, ops, mode, *line)? as u32;
             }
@@ -202,9 +202,10 @@ fn size_in_words(
             let v = match ops.get(1) {
                 Some(Operand::Imm(v)) => *v,
                 _ => {
-                    return Err(err(line, AsmErrorKind::BadOperands(
-                        "li expects `li $r, imm`".into(),
-                    )))
+                    return Err(err(
+                        line,
+                        AsmErrorKind::BadOperands("li expects `li $r, imm`".into()),
+                    ))
                 }
             };
             if (-2048..=2047).contains(&v) {
@@ -249,9 +250,10 @@ impl Emitter<'_> {
     fn reg(&self, op: Option<&Operand>, line: usize) -> Result<Reg, AsmError> {
         match op {
             Some(Operand::Reg(r)) => Ok(*r),
-            other => Err(err(line, AsmErrorKind::BadOperands(format!(
-                "expected register, found {other:?}"
-            )))),
+            other => Err(err(
+                line,
+                AsmErrorKind::BadOperands(format!("expected register, found {other:?}")),
+            )),
         }
     }
 
@@ -259,9 +261,10 @@ impl Emitter<'_> {
         match op {
             Some(Operand::Imm(v)) => Ok(*v),
             Some(Operand::Sym(name, off)) => Ok(self.sym(name, *off, line)? as i64),
-            other => Err(err(line, AsmErrorKind::BadOperands(format!(
-                "expected immediate, found {other:?}"
-            )))),
+            other => Err(err(
+                line,
+                AsmErrorKind::BadOperands(format!("expected immediate, found {other:?}")),
+            )),
         }
     }
 
@@ -278,9 +281,12 @@ impl Emitter<'_> {
                 })?;
                 Ok((*base, d32))
             }
-            other => Err(err(line, AsmErrorKind::BadOperands(format!(
-                "expected mem operand `off(base)`, found {other:?}"
-            )))),
+            other => Err(err(
+                line,
+                AsmErrorKind::BadOperands(format!(
+                    "expected mem operand `off(base)`, found {other:?}"
+                )),
+            )),
         }
     }
 
@@ -291,17 +297,19 @@ impl Emitter<'_> {
             Some(Operand::Sym(name, off)) => self.sym(name, *off, line)?,
             Some(Operand::Imm(v)) => return Ok(*v as i32),
             other => {
-                return Err(err(line, AsmErrorKind::BadOperands(format!(
-                    "expected branch target, found {other:?}"
-                ))))
+                return Err(err(
+                    line,
+                    AsmErrorKind::BadOperands(format!("expected branch target, found {other:?}")),
+                ))
             }
         };
         let from = self.pc() + 4;
         let delta = (target as i64 - from as i64) / 4;
         if (target as i64 - from as i64) % 4 != 0 || !(-2048..=2047).contains(&delta) {
-            return Err(err(line, AsmErrorKind::OutOfRange(format!(
-                "branch target {target:#x} out of reach"
-            ))));
+            return Err(err(
+                line,
+                AsmErrorKind::OutOfRange(format!("branch target {target:#x} out of reach")),
+            ));
         }
         Ok(delta as i32)
     }
@@ -310,9 +318,10 @@ impl Emitter<'_> {
         match op {
             Some(Operand::Sym(name, off)) => self.sym(name, *off, line),
             Some(Operand::Imm(v)) => Ok(*v as u32),
-            other => Err(err(line, AsmErrorKind::BadOperands(format!(
-                "expected jump target, found {other:?}"
-            )))),
+            other => Err(err(
+                line,
+                AsmErrorKind::BadOperands(format!("expected jump target, found {other:?}")),
+            )),
         }
     }
 
@@ -334,9 +343,10 @@ impl Emitter<'_> {
             (0..(1i64 << bits)).contains(&v)
         };
         if !ok {
-            return Err(err(line, AsmErrorKind::OutOfRange(format!(
-                "immediate {v} does not fit {bits} bits"
-            ))));
+            return Err(err(
+                line,
+                AsmErrorKind::OutOfRange(format!("immediate {v} does not fit {bits} bits")),
+            ));
         }
         Ok(v as i32)
     }
@@ -351,9 +361,10 @@ impl Emitter<'_> {
         let hi = v >> 12;
         let lo = (v & 0xfff) as i32;
         if !(-(1i64 << 17)..(1i64 << 17)).contains(&hi) {
-            return Err(err(line, AsmErrorKind::OutOfRange(format!(
-                "li constant {v} exceeds 30-bit range"
-            ))));
+            return Err(err(
+                line,
+                AsmErrorKind::OutOfRange(format!("li constant {v} exceeds 30-bit range")),
+            ));
         }
         self.push(Op::Lui { rt: rd, imm: hi as i32 });
         self.push_tagged(Op::Ori { rt: rd, rs: rd, imm: lo }, tags);
@@ -373,9 +384,10 @@ impl Emitter<'_> {
             if nops == n {
                 Ok(())
             } else {
-                Err(err(line, AsmErrorKind::BadOperands(format!(
-                    "{mnem} expects {n} operands, found {nops}"
-                ))))
+                Err(err(
+                    line,
+                    AsmErrorKind::BadOperands(format!("{mnem} expects {n} operands, found {nops}")),
+                ))
             }
         };
 
@@ -421,10 +433,7 @@ impl Emitter<'_> {
                 let rt = self.reg(o(0), line)?;
                 let (base, off) = self.mem(o(1), line)?;
                 let off = self.narrow_imm(off as i64, 12, true, line)?;
-                self.push_tagged(
-                    Op::Load { width: $w, signed: $signed, rt, base, off },
-                    tags,
-                );
+                self.push_tagged(Op::Load { width: $w, signed: $signed, rt, base, off }, tags);
             }};
         }
         macro_rules! store {
@@ -443,13 +452,7 @@ impl Emitter<'_> {
                 let fs = self.reg(o(1), line)?;
                 let ft = self.reg(o(2), line)?;
                 self.push_tagged(
-                    Op::FpArith {
-                        kind: FpArithKind::$kind,
-                        prec: Prec::$prec,
-                        fd,
-                        fs,
-                        ft,
-                    },
+                    Op::FpArith { kind: FpArithKind::$kind, prec: Prec::$prec, fd, fs, ft },
                     tags,
                 );
             }};
@@ -534,11 +537,8 @@ impl Emitter<'_> {
                 let rs = self.reg(o(0), line)?;
                 let rt = self.reg(o(1), line)?;
                 let off = self.branch_off(o(2), line)?;
-                let op = if mnem == "beq" {
-                    Op::Beq { rs, rt, off }
-                } else {
-                    Op::Bne { rs, rt, off }
-                };
+                let op =
+                    if mnem == "beq" { Op::Beq { rs, rt, off } } else { Op::Bne { rs, rt, off } };
                 self.push_tagged(op, tags);
             }
             "blez" | "bgtz" | "bltz" | "bgez" => {
@@ -597,9 +597,10 @@ impl Emitter<'_> {
                     1 => (Reg::RA, self.reg(o(0), line)?),
                     2 => (self.reg(o(0), line)?, self.reg(o(1), line)?),
                     _ => {
-                        return Err(err(line, AsmErrorKind::BadOperands(
-                            "jalr expects 1 or 2 operands".into(),
-                        )))
+                        return Err(err(
+                            line,
+                            AsmErrorKind::BadOperands("jalr expects 1 or 2 operands".into()),
+                        ))
                     }
                 };
                 self.push_tagged(Op::Jalr { rd, rs }, tags);
@@ -661,9 +662,10 @@ impl Emitter<'_> {
                     return Ok(()); // dropped entirely from the scalar binary
                 }
                 if nops == 0 {
-                    return Err(err(line, AsmErrorKind::BadOperands(
-                        "release expects at least one register".into(),
-                    )));
+                    return Err(err(
+                        line,
+                        AsmErrorKind::BadOperands("release expects at least one register".into()),
+                    ));
                 }
                 let mut regs: Vec<Reg> = Vec::with_capacity(nops);
                 for i in 0..nops {
@@ -690,9 +692,10 @@ impl Emitter<'_> {
                 let v = match o(1) {
                     Some(Operand::Imm(v)) => *v,
                     _ => {
-                        return Err(err(line, AsmErrorKind::BadOperands(
-                            "li expects `li $r, imm`".into(),
-                        )))
+                        return Err(err(
+                            line,
+                            AsmErrorKind::BadOperands("li expects `li $r, imm`".into()),
+                        ))
                     }
                 };
                 self.emit_li(rd, v, tags, line)?;
@@ -704,9 +707,12 @@ impl Emitter<'_> {
                     Some(Operand::Sym(name, off)) => self.sym(name, *off, line)? as i64,
                     Some(Operand::Imm(v)) => *v,
                     other => {
-                        return Err(err(line, AsmErrorKind::BadOperands(format!(
-                            "la expects a symbol, found {other:?}"
-                        ))))
+                        return Err(err(
+                            line,
+                            AsmErrorKind::BadOperands(format!(
+                                "la expects a symbol, found {other:?}"
+                            )),
+                        ))
                     }
                 };
                 // Fixed two-instruction expansion so pass-1 sizing is exact.
@@ -741,16 +747,8 @@ impl Emitter<'_> {
     }
 }
 
-fn emit(
-    stmts: &[(usize, Stmt)],
-    layout: &Layout,
-    mode: AsmMode,
-) -> Result<Program, AsmError> {
-    let mut em = Emitter {
-        symbols: &layout.symbols,
-        text: Vec::new(),
-        mode,
-    };
+fn emit(stmts: &[(usize, Stmt)], layout: &Layout, mode: AsmMode) -> Result<Program, AsmError> {
+    let mut em = Emitter { symbols: &layout.symbols, text: Vec::new(), mode };
     let mut data: Vec<u8> = Vec::new();
     let mut section = Section::Text;
     let mut tasks: BTreeMap<u32, TaskDescriptor> = BTreeMap::new();
@@ -790,9 +788,12 @@ fn emit(
                         let limit = 1i128 << (8 * n);
                         let sv = v as i64 as i128;
                         if sv >= limit || sv < -(limit / 2) {
-                            return Err(err(*line, AsmErrorKind::OutOfRange(format!(
-                                "data item {sv} does not fit {n} bytes"
-                            ))));
+                            return Err(err(
+                                *line,
+                                AsmErrorKind::OutOfRange(format!(
+                                    "data item {sv} does not fit {n} bytes"
+                                )),
+                            ));
                         }
                     }
                     data.extend_from_slice(&v.to_le_bytes()[..n]);
@@ -809,9 +810,12 @@ fn emit(
                     continue;
                 }
                 if pending_task.is_some() {
-                    return Err(err(*line, AsmErrorKind::Directive(
-                        "two .task directives with no code between them".into(),
-                    )));
+                    return Err(err(
+                        *line,
+                        AsmErrorKind::Directive(
+                            "two .task directives with no code between them".into(),
+                        ),
+                    ));
                 }
                 pending_task = Some((*line, targets.clone(), create.clone()));
             }
@@ -847,9 +851,10 @@ fn emit(
         }
     }
     if let Some((tline, ..)) = pending_task {
-        return Err(err(tline, AsmErrorKind::Directive(
-            ".task directive not followed by any instruction".into(),
-        )));
+        return Err(err(
+            tline,
+            AsmErrorKind::Directive(".task directive not followed by any instruction".into()),
+        ));
     }
 
     let mut program = Program::new();
@@ -859,13 +864,12 @@ fn emit(
     if !data.is_empty() {
         program.data.push(DataSegment { base: DATA_BASE, bytes: data });
     }
-    let entry_name = entry_sym.or_else(|| {
-        layout.symbols.contains_key("main").then(|| "main".to_owned())
-    });
+    let entry_name =
+        entry_sym.or_else(|| layout.symbols.contains_key("main").then(|| "main".to_owned()));
     program.entry = match entry_name {
-        Some(name) => *layout.symbols.get(&name).ok_or_else(|| {
-            err(0, AsmErrorKind::UndefinedSymbol(name))
-        })?,
+        Some(name) => {
+            *layout.symbols.get(&name).ok_or_else(|| err(0, AsmErrorKind::UndefinedSymbol(name)))?
+        }
         None => TEXT_BASE,
     };
     Ok(program)

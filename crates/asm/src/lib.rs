@@ -110,10 +110,7 @@ addlist:
         assert_eq!(desc.create.to_string(), "$4,$8,$17,$20,$23");
         assert_eq!(desc.targets.len(), 2);
         assert_eq!(desc.targets[0].kind, TargetKind::Addr(outer));
-        assert_eq!(
-            desc.targets[1].kind,
-            TargetKind::Addr(ms.symbol("OUTERFALLOUT").unwrap())
-        );
+        assert_eq!(desc.targets[1].kind, TargetKind::Addr(ms.symbol("OUTERFALLOUT").unwrap()));
 
         // Tag bits present only in the multiscalar binary.
         let first = ms.instr_at(outer).unwrap();
@@ -212,11 +209,8 @@ addlist:
 
     #[test]
     fn release_chunks_into_triples() {
-        let p = assemble(
-            "main: release $4, $5, $6, $7, $8\n halt\n",
-            AsmMode::Multiscalar,
-        )
-        .unwrap();
+        let p =
+            assemble("main: release $4, $5, $6, $7, $8\n halt\n", AsmMode::Multiscalar).unwrap();
         assert_eq!(p.text.len(), 3); // 2 release instrs + halt
         match p.text[0].op {
             Op::Release { regs } => assert_eq!(regs.len(), 3),
@@ -249,7 +243,11 @@ addlist:
     fn unbalanced_blocks_rejected() {
         assert!(assemble(".ms_begin\nmain: halt\n", AsmMode::Scalar).is_err());
         assert!(assemble(".ms_end\nmain: halt\n", AsmMode::Scalar).is_err());
-        assert!(assemble(".ms_begin\n.scalar_begin\n.scalar_end\n.ms_end\nmain: halt\n", AsmMode::Scalar).is_err());
+        assert!(assemble(
+            ".ms_begin\n.scalar_begin\n.scalar_end\n.ms_end\nmain: halt\n",
+            AsmMode::Scalar
+        )
+        .is_err());
     }
 
     #[test]

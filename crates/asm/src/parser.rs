@@ -259,17 +259,11 @@ pub fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
             let base: Reg = base_txt.trim().parse().map_err(|_| {
                 err(line, AsmErrorKind::Syntax(format!("invalid base register `{base_txt}`")))
             })?;
-            let disp = if disp_txt.is_empty() {
-                Operand::Imm(0)
-            } else {
-                parse_operand(disp_txt, line)?
-            };
+            let disp =
+                if disp_txt.is_empty() { Operand::Imm(0) } else { parse_operand(disp_txt, line)? };
             match disp {
                 Operand::Imm(_) | Operand::Sym(..) => {
-                    return Ok(Operand::Mem {
-                        disp: Box::new(disp),
-                        base,
-                    })
+                    return Ok(Operand::Mem { disp: Box::new(disp), base })
                 }
                 _ => {
                     return Err(err(
@@ -286,10 +280,7 @@ pub fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
             .map_err(|_| err(line, AsmErrorKind::Syntax(format!("invalid register `{s}`"))))?;
         return Ok(Operand::Reg(r));
     }
-    if s.starts_with(|c: char| c.is_ascii_digit())
-        || s.starts_with('-')
-        || s.starts_with('\'')
-    {
+    if s.starts_with(|c: char| c.is_ascii_digit()) || s.starts_with('-') || s.starts_with('\'') {
         return Ok(Operand::Imm(parse_int(s, line)?));
     }
     let (name, off) = parse_sym(s, line)?;
@@ -336,10 +327,7 @@ fn parse_mnemonic(raw: &str, line: usize) -> Result<(String, TagBits), AsmError>
 fn parse_string_lit(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
     let s = s.trim();
     let bad = || err(line, AsmErrorKind::Syntax(format!("invalid string literal {s}")));
-    let body = s
-        .strip_prefix('"')
-        .and_then(|b| b.strip_suffix('"'))
-        .ok_or_else(bad)?;
+    let body = s.strip_prefix('"').and_then(|b| b.strip_suffix('"')).ok_or_else(bad)?;
     let mut out = Vec::new();
     let mut chars = body.chars();
     while let Some(c) = chars.next() {
@@ -457,10 +445,7 @@ fn parse_directive(text: &str, line: usize) -> Result<Stmt, AsmError> {
         ".scalar_begin" => Ok(Stmt::ScalarBegin),
         ".scalar_end" => Ok(Stmt::ScalarEnd),
         ".global" | ".globl" => Ok(Stmt::Entry(parse_sym(rest, line)?.0)),
-        other => Err(err(
-            line,
-            AsmErrorKind::Directive(format!("unknown directive `{other}`")),
-        )),
+        other => Err(err(line, AsmErrorKind::Directive(format!("unknown directive `{other}`")))),
     }
 }
 
@@ -594,10 +579,7 @@ mod tests {
             parse_line(".double 1.5, -2.0", 1).unwrap()[0],
             Stmt::Data(DataKind::Double, vec![DataItem::Fp(1.5), DataItem::Fp(-2.0)])
         );
-        assert_eq!(
-            parse_line(".asciiz \"hi\\n\"", 1).unwrap()[0],
-            Stmt::Asciiz(b"hi\n".to_vec())
-        );
+        assert_eq!(parse_line(".asciiz \"hi\\n\"", 1).unwrap()[0], Stmt::Asciiz(b"hi\n".to_vec()));
     }
 
     #[test]

@@ -12,16 +12,8 @@ use ms_workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--test-scale") {
-        Scale::Test
-    } else {
-        Scale::Full
-    };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let scale = if args.iter().any(|a| a == "--test-scale") { Scale::Test } else { Scale::Full };
+    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
     let run = |name: &str| what == "all" || what == name;
 
@@ -51,7 +43,9 @@ fn main() {
             println!("{}", render_ablation(name, &ablation(&w)));
         }
     }
-    if !["all", "table1", "config", "table2", "table3", "table4", "cycles", "ablation", "scaling"].contains(&what) {
+    if !["all", "table1", "config", "table2", "table3", "table4", "cycles", "ablation", "scaling"]
+        .contains(&what)
+    {
         eprintln!("unknown selector `{what}`; use all|table1|table2|table3|table4|cycles|ablation|scaling");
         std::process::exit(2);
     }

@@ -73,9 +73,7 @@ pub fn evaluate_workload(
     let mut per_width = Vec::new();
     for &width in widths {
         let scfg = SimConfig::scalar().issue(width).out_of_order(ooo);
-        let s = w
-            .run_scalar(scfg)
-            .unwrap_or_else(|e| panic!("{} scalar w{width}: {e}", w.name));
+        let s = w.run_scalar(scfg).unwrap_or_else(|e| panic!("{} scalar w{width}: {e}", w.name));
         let mut multi = Vec::new();
         for &units in unit_counts {
             let mcfg = SimConfig::multiscalar(units).issue(width).out_of_order(ooo);
@@ -89,22 +87,14 @@ pub fn evaluate_workload(
                 cycles: m.cycles,
             });
         }
-        per_width.push(WidthResult {
-            width,
-            scalar_ipc: s.ipc(),
-            scalar_cycles: s.cycles,
-            multi,
-        });
+        per_width.push(WidthResult { width, scalar_ipc: s.ipc(), scalar_cycles: s.cycles, multi });
     }
     EvalRow { name: w.name, per_width }
 }
 
 /// Runs the sweep for the whole suite.
 pub fn evaluate_suite(ooo: bool, scale: Scale) -> Vec<EvalRow> {
-    suite(scale)
-        .iter()
-        .map(|w| evaluate_workload(w, ooo, &[1, 2], &[4, 8]))
-        .collect()
+    suite(scale).iter().map(|w| evaluate_workload(w, ooo, &[1, 2], &[4, 8])).collect()
 }
 
 /// Renders Table 3/4 in the paper's layout.
@@ -113,16 +103,22 @@ pub fn render_table34(rows: &[EvalRow], ooo: bool) -> String {
     let kind = if ooo { "Out-Of-Order" } else { "In-Order" };
     let num = if ooo { 4 } else { 3 };
     let _ = writeln!(out, "Table {num}: {kind} Issue Processing Units");
-    let _ = writeln!(
-        out,
-        "{:10} | {:-^37} | {:-^37}",
-        "", "1-Way Issue Units", "2-Way Issue Units"
-    );
+    let _ =
+        writeln!(out, "{:10} | {:-^37} | {:-^37}", "", "1-Way Issue Units", "2-Way Issue Units");
     let _ = writeln!(
         out,
         "{:10} | {:>6} {:>7} {:>6} {:>7} {:>6} | {:>6} {:>7} {:>6} {:>7} {:>6}",
-        "Program", "Scalar", "4-Unit", "Pred", "8-Unit", "Pred", "Scalar", "4-Unit", "Pred",
-        "8-Unit", "Pred"
+        "Program",
+        "Scalar",
+        "4-Unit",
+        "Pred",
+        "8-Unit",
+        "Pred",
+        "Scalar",
+        "4-Unit",
+        "Pred",
+        "8-Unit",
+        "Pred"
     );
     let _ = writeln!(
         out,
@@ -180,11 +176,7 @@ pub fn table2(scale: Scale) -> Vec<CountRow> {
             let m = w
                 .run_multiscalar(SimConfig::multiscalar(4))
                 .unwrap_or_else(|e| panic!("{} ms: {e}", w.name));
-            CountRow {
-                name: w.name,
-                scalar: s.instructions,
-                multiscalar: m.instructions,
-            }
+            CountRow { name: w.name, scalar: s.instructions, multiscalar: m.instructions }
         })
         .collect()
 }
@@ -217,17 +209,14 @@ pub fn render_table2(rows: &[CountRow]) -> String {
 /// # Panics
 /// Panics if the run fails or produces wrong outputs.
 pub fn cycle_distribution(w: &Workload, units: usize) -> RunStats {
-    w.run_multiscalar(SimConfig::multiscalar(units))
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    w.run_multiscalar(SimConfig::multiscalar(units)).unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }
 
 /// Renders the cycle-distribution report for the whole suite.
 pub fn render_cycles(scale: Scale, units: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Section 3 cycle distribution ({units}-unit multiscalar, 1-way in-order)\n"
-    );
+    let _ =
+        writeln!(out, "Section 3 cycle distribution ({units}-unit multiscalar, 1-way in-order)\n");
     let _ = writeln!(
         out,
         "{:10} {:>8} {:>9} {:>7} {:>7} {:>7} {:>6} {:>6}",
@@ -292,15 +281,9 @@ fn ms_pipeline_latency_table() -> ms_pipeline::LatencyTable {
 /// criterion benches to avoid silently timing broken code).
 pub fn verify_counts(w: &Workload) -> CountRow {
     let s = w.run_scalar(SimConfig::scalar()).expect("scalar run");
-    let m = w
-        .run_multiscalar(SimConfig::multiscalar(4))
-        .expect("multiscalar run");
+    let m = w.run_multiscalar(SimConfig::multiscalar(4)).expect("multiscalar run");
     assert!(m.instructions >= s.instructions);
-    CountRow {
-        name: w.name,
-        scalar: s.instructions,
-        multiscalar: m.instructions,
-    }
+    CountRow { name: w.name, scalar: s.instructions, multiscalar: m.instructions }
 }
 
 /// Assembles a workload in both modes and asserts the static-size
@@ -382,9 +365,7 @@ pub fn ablation(w: &Workload) -> Vec<AblationRow> {
     let s = w.run_scalar(SimConfig::scalar()).expect("scalar baseline");
     let mut rows = Vec::new();
     let mut point = |name: &str, cfg: SimConfig| {
-        let m = w
-            .run_multiscalar(cfg)
-            .unwrap_or_else(|e| panic!("{} [{name}]: {e}", w.name));
+        let m = w.run_multiscalar(cfg).unwrap_or_else(|e| panic!("{} [{name}]: {e}", w.name));
         rows.push(AblationRow {
             config: name.to_string(),
             speedup: s.cycles as f64 / m.cycles as f64,
@@ -413,7 +394,8 @@ pub fn ablation(w: &Workload) -> Vec<AblationRow> {
 pub fn render_ablation(name: &str, rows: &[AblationRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Ablation: {name} (8-unit, 1-way, in-order)");
-    let _ = writeln!(out, "{:38} {:>8} {:>7} {:>9}", "configuration", "speedup", "pred", "squashes");
+    let _ =
+        writeln!(out, "{:38} {:>8} {:>7} {:>9}", "configuration", "speedup", "pred", "squashes");
     for r in rows {
         let _ = writeln!(
             out,
@@ -456,10 +438,7 @@ pub fn render_scaling(scale: Scale) -> String {
     }
     let _ = writeln!(out);
     for name in ["Cmp", "Example", "Eqntott", "Compress", "Xlisp"] {
-        let w = suite(scale)
-            .into_iter()
-            .find(|w| w.name == name)
-            .expect("workload");
+        let w = suite(scale).into_iter().find(|w| w.name == name).expect("workload");
         let curve = scaling(&w, &units);
         let _ = write!(out, "{:10}", name);
         for (_, sp) in curve {

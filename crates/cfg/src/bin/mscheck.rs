@@ -43,13 +43,7 @@ fn main() -> ExitCode {
     }
     let errors = report.of_severity(Severity::Error).count();
     let warnings = report.of_severity(Severity::Warning).count();
-    println!(
-        "{}: {} tasks, {} errors, {} warnings",
-        path,
-        report.tasks.len(),
-        errors,
-        warnings
-    );
+    println!("{}: {} tasks, {} errors, {} warnings", path, report.tasks.len(), errors, warnings);
     if errors > 0 {
         ExitCode::from(1)
     } else {

@@ -143,10 +143,7 @@ A:
 ",
         );
         assert!(!r.has_errors(), "{r}");
-        assert!(
-            r.diagnostics.iter().any(|d| d.severity == Severity::Info),
-            "{r}"
-        );
+        assert!(r.diagnostics.iter().any(|d| d.severity == Severity::Info), "{r}");
     }
 
     #[test]

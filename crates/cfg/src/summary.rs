@@ -112,10 +112,8 @@ pub fn summarize_functions(prog: &Program) -> BTreeMap<u32, FnSummary> {
             entries.insert(target);
         }
     }
-    let mut summaries: BTreeMap<u32, FnSummary> = entries
-        .iter()
-        .map(|&e| (e, walk_function(prog, e)))
-        .collect();
+    let mut summaries: BTreeMap<u32, FnSummary> =
+        entries.iter().map(|&e| (e, walk_function(prog, e))).collect();
 
     // Fixpoint: fold callee effects into callers.
     loop {
@@ -198,11 +196,7 @@ mod tests {
 
     #[test]
     fn indirect_jumps_are_flagged() {
-        let prog = assemble(
-            "main:\n jal f\n halt\nf:\n jr $9\n",
-            AsmMode::Multiscalar,
-        )
-        .unwrap();
+        let prog = assemble("main:\n jal f\n halt\nf:\n jr $9\n", AsmMode::Multiscalar).unwrap();
         let sums = summarize_functions(&prog);
         let f = sums.get(&prog.symbol("f").unwrap()).unwrap();
         assert_eq!(f.indirect_jumps.len(), 1);

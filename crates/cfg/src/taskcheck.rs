@@ -230,9 +230,7 @@ impl Checker<'_> {
                                 Severity::Warning,
                                 entry,
                                 Some(*stop),
-                                format!(
-                                    "stop bit inside function {target:#x} called by this task"
-                                ),
+                                format!("stop bit inside function {target:#x} called by this task"),
                             );
                         }
                         for &ij in &sum.indirect_jumps {
@@ -283,9 +281,7 @@ impl Checker<'_> {
         for exit in &exits {
             let ok = match exit {
                 StaticExit::Addr(a) => desc.target_index_for(*a).is_some(),
-                StaticExit::Return => {
-                    desc.targets.iter().any(|t| t.kind == TargetKind::Return)
-                }
+                StaticExit::Return => desc.targets.iter().any(|t| t.kind == TargetKind::Return),
                 StaticExit::Halt => desc.targets.iter().any(|t| t.kind == TargetKind::Halt),
                 StaticExit::Unverifiable(pc) => {
                     self.diag(
@@ -342,17 +338,10 @@ impl Checker<'_> {
 
 /// Checks every task annotation in `prog` against its code.
 pub fn check_program(prog: &Program) -> Report {
-    let mut checker = Checker {
-        prog,
-        summaries: summarize_functions(prog),
-        diags: Vec::new(),
-    };
+    let mut checker = Checker { prog, summaries: summarize_functions(prog), diags: Vec::new() };
     let mut tasks = Vec::new();
     for &entry in prog.tasks.keys() {
         tasks.push(checker.check_task(entry));
     }
-    Report {
-        tasks,
-        diagnostics: checker.diags,
-    }
+    Report { tasks, diagnostics: checker.diags }
 }

@@ -77,11 +77,7 @@ impl SimConfig {
     /// The paper's scalar baseline (one aggressive unit, 1-cycle data
     /// cache hits, no multiscalar overheads).
     pub fn scalar() -> SimConfig {
-        SimConfig {
-            units: 1,
-            banks: DataBanksConfig::scalar(),
-            ..SimConfig::multiscalar(1)
-        }
+        SimConfig { units: 1, banks: DataBanksConfig::scalar(), ..SimConfig::multiscalar(1) }
     }
 
     /// Sets the per-unit issue width (builder style).

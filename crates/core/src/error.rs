@@ -34,13 +34,19 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NoDescriptor { pc } => {
-                write!(f, "no task descriptor at {pc:#x}; the task annotation does not cover this path")
+                write!(
+                    f,
+                    "no task descriptor at {pc:#x}; the task annotation does not cover this path"
+                )
             }
             SimError::Fault(msg) => write!(f, "processing unit fault: {msg}"),
             SimError::Timeout { cycles } => write!(f, "simulation exceeded {cycles} cycles"),
             SimError::BadProgram(msg) => write!(f, "malformed program: {msg}"),
             SimError::ExitNotInTargets { task, exit } => {
-                write!(f, "task at {task:#x} exited to {exit}, which is not among its descriptor targets")
+                write!(
+                    f,
+                    "task at {task:#x} exited to {exit}, which is not among its descriptor targets"
+                )
             }
         }
     }

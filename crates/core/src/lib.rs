@@ -76,6 +76,11 @@ pub use ring::{Ring, RingMsg};
 pub use scalar::ScalarProcessor;
 pub use stats::{CycleBreakdown, RunStats};
 
+/// The structured trace layer (re-exported from `ms-trace`): attach a
+/// [`trace::TraceSink`] via [`Processor::with_sink`] to observe per-cycle
+/// [`trace::TraceEvent`]s instead of (or in addition to) aggregate stats.
+pub use ms_trace as trace;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,10 +373,8 @@ FIN:
 
     #[test]
     fn last_outcome_predictor_runs_correctly() {
-        let c = cycles_with(
-            ALTERNATE,
-            SimConfig::multiscalar(4).predictor(PredictorKind::LastOutcome),
-        );
+        let c =
+            cycles_with(ALTERNATE, SimConfig::multiscalar(4).predictor(PredictorKind::LastOutcome));
         assert!(c > 0);
     }
 

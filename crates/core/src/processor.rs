@@ -25,6 +25,7 @@ use ms_isa::{Program, Reg, RegMask, TargetKind, TaskDescriptor, NUM_REGS, STACK_
 use ms_memsys::{Arb, DataBanks, MemBus, Memory};
 use ms_pipeline::{ExitKind, MemPorts, ProcessingUnit};
 use ms_predictor::{DescriptorCache, ReturnAddressStack, TaskPredictor};
+use ms_trace::{NullSink, SquashKind, TraceEvent, TraceSink};
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug)]
@@ -73,6 +74,19 @@ enum SquashCause {
     ArbFull,
 }
 
+impl SquashCause {
+    fn kind(self) -> SquashKind {
+        match self {
+            SquashCause::Control => SquashKind::Control,
+            SquashCause::Memory => SquashKind::Memory,
+            SquashCause::ArbFull => SquashKind::ArbFull,
+        }
+    }
+}
+
+/// Cycle period of the ARB occupancy samples emitted to the trace sink.
+const ARB_OCCUPANCY_SAMPLE_PERIOD: u64 = 16;
+
 /// The multiscalar processor simulator.
 ///
 /// ```no_run
@@ -88,7 +102,7 @@ enum SquashCause {
 /// # Ok(())
 /// # }
 /// ```
-pub struct Processor {
+pub struct Processor<S: TraceSink = NullSink> {
     cfg: SimConfig,
     prog: Program,
     units: Vec<ProcessingUnit>,
@@ -113,6 +127,11 @@ pub struct Processor {
     stats: RunStats,
     retirement_log: Vec<Retirement>,
     last_outcome: HashMap<u32, usize>,
+
+    sink: S,
+    /// Legacy human-readable event logging to stderr (the old `MS_TRACE`
+    /// behaviour), resolved once at construction instead of per cycle.
+    log_events: bool,
 }
 
 /// One retired task, as recorded in [`Processor::retirement_log`].
@@ -135,6 +154,19 @@ impl Processor {
     /// Returns [`SimError::BadProgram`] if the program has no text or no
     /// task descriptor at its entry point.
     pub fn new(prog: Program, cfg: SimConfig) -> Result<Processor, SimError> {
+        Processor::with_sink(prog, cfg, NullSink)
+    }
+}
+
+impl<S: TraceSink> Processor<S> {
+    /// Builds a processor that reports [`TraceEvent`]s to `sink` as it
+    /// runs. With [`NullSink`] (what [`Processor::new`] uses) the
+    /// instrumentation monomorphizes away entirely.
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadProgram`] if the program has no text or no
+    /// task descriptor at its entry point.
+    pub fn with_sink(prog: Program, cfg: SimConfig, sink: S) -> Result<Processor<S>, SimError> {
         if prog.text.is_empty() {
             return Err(SimError::BadProgram("empty text segment".into()));
         }
@@ -150,9 +182,7 @@ impl Processor {
         }
         let mut boot_vals = [0u64; NUM_REGS];
         boot_vals[Reg::SP.index()] = STACK_TOP as u64;
-        let units = (0..cfg.units)
-            .map(|i| ProcessingUnit::new(i, cfg.unit_config()))
-            .collect();
+        let units = (0..cfg.units).map(|i| ProcessingUnit::new(i, cfg.unit_config())).collect();
         let entry = prog.entry;
         Ok(Processor {
             units,
@@ -180,9 +210,27 @@ impl Processor {
             stats: RunStats::default(),
             retirement_log: Vec::new(),
             last_outcome: HashMap::new(),
+            sink,
+            log_events: std::env::var_os("MS_TRACE").is_some(),
             prog,
             cfg,
         })
+    }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the attached trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Finishes the trace sink and returns it, consuming the processor.
+    pub fn into_sink(mut self) -> S {
+        self.sink.finish();
+        self.sink
     }
 
     /// Writes raw bytes into simulated memory (workload inputs), before or
@@ -276,7 +324,15 @@ impl Processor {
                 u.fwd_view().1.contains(ms_isa::Reg::int(21)),
             );
         }
-        let _ = write!(s, "] halted={} ring={} seq_ready={} sq={}c+{}m", self.halted, self.ring.in_flight(), self.seq_ready_at, self.stats.control_squashes, self.stats.memory_squashes);
+        let _ = write!(
+            s,
+            "] halted={} ring={} seq_ready={} sq={}c+{}m",
+            self.halted,
+            self.ring.in_flight(),
+            self.seq_ready_at,
+            self.stats.control_squashes,
+            self.stats.memory_squashes
+        );
         s
     }
 
@@ -295,8 +351,8 @@ impl Processor {
         // further. Idle units pass messages through (their successors may
         // hold later tasks that still need the value).
         let newest_order = self.active.back().map(|r| r.order);
-        let trace = std::env::var_os("MS_TRACE").is_some();
-        let arrivals = self.ring.step(now);
+        let trace = self.log_events;
+        let arrivals = self.ring.step_traced(now, &mut self.sink);
         for (dest, msg) in arrivals {
             debug_assert!(msg.hops <= 4 * n, "ring message circulating: {msg:?}");
             match self.unit_order(dest) {
@@ -308,20 +364,50 @@ impl Processor {
                             msg.reg
                         );
                     }
+                    if S::ENABLED {
+                        self.sink.event(&TraceEvent::RingDeliver {
+                            cycle: now,
+                            unit: dest,
+                            reg: msg.reg.index() as u8,
+                            hops: msg.hops as u32,
+                            propagate,
+                        });
+                    }
                     if propagate && Some(order) != newest_order {
                         self.ring.send(dest, msg, now);
                     }
                 }
                 Some(order) => {
                     if trace {
-                        eprintln!("[{now}] ring: {} dies at u{dest} (order {order}) {msg:?}", msg.reg);
+                        eprintln!(
+                            "[{now}] ring: {} dies at u{dest} (order {order}) {msg:?}",
+                            msg.reg
+                        );
+                    }
+                    if S::ENABLED {
+                        self.sink.event(&TraceEvent::RingDie {
+                            cycle: now,
+                            unit: dest,
+                            reg: msg.reg.index() as u8,
+                            hops: msg.hops as u32,
+                        });
                     }
                 } // wrapped to the sender or older tasks: dies
                 None => {
                     if !self.active.is_empty() {
                         self.ring.send(dest, msg, now); // pass through an idle unit
-                    } else if trace {
-                        eprintln!("[{now}] ring: {} dies at idle u{dest} {msg:?}", msg.reg);
+                    } else {
+                        if trace {
+                            eprintln!("[{now}] ring: {} dies at idle u{dest} {msg:?}", msg.reg);
+                        }
+                        if S::ENABLED {
+                            self.sink.event(&TraceEvent::RingDie {
+                                cycle: now,
+                                unit: dest,
+                                reg: msg.reg.index() as u8,
+                                hops: msg.hops as u32,
+                            });
+                        }
                     }
                 }
             }
@@ -342,7 +428,7 @@ impl Processor {
                 stage: unit_idx,
                 active_ranks: active_len,
             };
-            let out = self.units[unit_idx].tick(now, &self.prog, &mut ports);
+            let out = self.units[unit_idx].tick_traced(now, &self.prog, &mut ports, &mut self.sink);
             if let Some(f) = self.units[unit_idx].fault() {
                 return Err(SimError::Fault(f.to_owned()));
             }
@@ -361,6 +447,14 @@ impl Processor {
             let rec_unit = self.active[pos].unit;
             let rec_order = self.active[pos].order;
             for (reg, val) in self.units[rec_unit].take_sends(now) {
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::RingSend {
+                        cycle: now,
+                        unit: rec_unit,
+                        reg: reg.index() as u8,
+                        order: rec_order,
+                    });
+                }
                 self.ring.send(
                     rec_unit,
                     RingMsg { reg, val, sender_order: rec_order, hops: 0 },
@@ -378,7 +472,10 @@ impl Processor {
             let replace = match slot {
                 None => true,
                 Some((p, _, c)) => {
-                    req.0 < *p || (req.0 == *p && req.2 == SquashCause::Control && *c != SquashCause::Control)
+                    req.0 < *p
+                        || (req.0 == *p
+                            && req.2 == SquashCause::Control
+                            && *c != SquashCause::Control)
                 }
             };
             if replace {
@@ -450,6 +547,15 @@ impl Processor {
                     unit: u,
                     instructions: c.instructions,
                 });
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::TaskRetire {
+                        cycle: now,
+                        order: head.order,
+                        unit: u,
+                        entry: head.entry,
+                        instructions: c.instructions,
+                    });
+                }
                 self.units[u].retire(now);
                 self.last_retired_unit = Some(u);
                 match self.active.front() {
@@ -467,6 +573,13 @@ impl Processor {
             self.assign_phase(now)?;
         }
 
+        if S::ENABLED && now.is_multiple_of(ARB_OCCUPANCY_SAMPLE_PERIOD) {
+            self.sink.event(&TraceEvent::ArbOccupancy {
+                cycle: now,
+                entries: self.arb.total_occupancy(),
+            });
+        }
+
         self.now += 1;
         Ok(())
     }
@@ -477,13 +590,9 @@ impl Processor {
     fn validate(&mut self, pos: usize) -> Result<Option<(usize, Pending, SquashCause)>, SimError> {
         let exit = self.active[pos].exit.expect("validate needs an exit");
         let entry = self.active[pos].entry;
-        let desc = self
-            .prog
-            .task_at(entry)
-            .ok_or(SimError::NoDescriptor { pc: entry })?;
-        let actual_idx = actual_target_index(desc, exit).ok_or_else(|| {
-            SimError::ExitNotInTargets { task: entry, exit: format!("{exit:?}") }
-        })?;
+        let desc = self.prog.task_at(entry).ok_or(SimError::NoDescriptor { pc: entry })?;
+        let actual_idx = actual_target_index(desc, exit)
+            .ok_or_else(|| SimError::ExitNotInTargets { task: entry, exit: format!("{exit:?}") })?;
         // Train the pattern table at the history that preceded this
         // outcome. If the successor is already assigned, its record holds
         // the pre-shift history; otherwise no shift has happened yet and
@@ -514,6 +623,14 @@ impl Processor {
             if succ.by_prediction {
                 self.predictor.note_outcome(correct);
             }
+            if S::ENABLED {
+                self.sink.event(&TraceEvent::TaskValidate {
+                    cycle: self.now,
+                    entry,
+                    actual_next,
+                    correct,
+                });
+            }
             if !correct {
                 let redirect = match actual_next {
                     Some(pc) => Pending::Entry {
@@ -528,29 +645,36 @@ impl Processor {
         } else {
             // No successor assigned yet: resolve the pending choice.
             let resolved = match actual_next {
-                Some(pc) => Pending::Entry {
-                    pc,
-                    by_prediction: false,
-                    choice: Some((entry, actual_idx)),
-                },
+                Some(pc) => {
+                    Pending::Entry { pc, by_prediction: false, choice: Some((entry, actual_idx)) }
+                }
                 None => Pending::Stop,
             };
+            let mut correct = true;
             match self.pending {
                 Pending::Unknown => self.pending = resolved,
                 Pending::Entry { pc: e, by_prediction: by_pred, .. } => {
-                    let correct = actual_next == Some(e);
+                    correct = actual_next == Some(e);
                     if by_pred {
                         self.predictor.note_outcome(correct);
                     }
                     self.pending = resolved;
                 }
                 Pending::Stop => {
-                    let correct = actual_next.is_none();
+                    correct = actual_next.is_none();
                     self.predictor.note_outcome(correct);
                     if actual_next.is_some() {
                         self.pending = resolved;
                     }
                 }
+            }
+            if S::ENABLED {
+                self.sink.event(&TraceEvent::TaskValidate {
+                    cycle: self.now,
+                    entry,
+                    actual_next,
+                    correct,
+                });
             }
         }
         Ok(None)
@@ -561,10 +685,20 @@ impl Processor {
     fn squash_from(&mut self, pos: usize, redirect: Pending, cause: SquashCause) {
         debug_assert!(pos < self.active.len());
         let cutoff = self.active[pos].order;
+        let depth = self.active.len() - pos;
         self.ras.restore(self.active[pos].ras_snap);
         while self.active.len() > pos {
             let rec = self.active.pop_back().expect("len > pos");
             let c = self.units[rec.unit].counters();
+            if S::ENABLED {
+                self.sink.event(&TraceEvent::TaskSquash {
+                    cycle: self.now,
+                    order: rec.order,
+                    unit: rec.unit,
+                    entry: rec.entry,
+                    cause: cause.kind(),
+                });
+            }
             self.stats.tasks_squashed += 1;
             self.stats.squashed_instructions += c.instructions;
             self.stats.breakdown.non_useful += c.total_cycles();
@@ -577,6 +711,18 @@ impl Processor {
             }
         }
         self.ring.discard_if(|m| m.sender_order >= cutoff);
+        if S::ENABLED {
+            let redirect_pc = match redirect {
+                Pending::Entry { pc, .. } => Some(pc),
+                _ => None,
+            };
+            self.sink.event(&TraceEvent::SquashWave {
+                cycle: self.now,
+                cause: cause.kind(),
+                depth,
+                redirect: redirect_pc,
+            });
+        }
         match cause {
             SquashCause::Control => self.stats.control_squashes += 1,
             SquashCause::Memory => self.stats.memory_squashes += 1,
@@ -615,7 +761,12 @@ impl Processor {
                     .task_at(last.entry)
                     .ok_or(SimError::NoDescriptor { pc: last.entry })?;
                 let idx = match self.cfg.predictor {
-                    PredictorKind::Pas => self.predictor.predict(last.entry, desc.targets.len()),
+                    PredictorKind::Pas => self.predictor.predict_traced(
+                        now,
+                        last.entry,
+                        desc.targets.len(),
+                        &mut self.sink,
+                    ),
                     PredictorKind::StaticFirstTarget => 0,
                     PredictorKind::LastOutcome => self
                         .last_outcome
@@ -627,11 +778,8 @@ impl Processor {
                 let from = last.entry;
                 match desc.targets[idx].kind {
                     TargetKind::Addr(a) => {
-                        self.pending = Pending::Entry {
-                            pc: a,
-                            by_prediction: true,
-                            choice: Some((from, idx)),
-                        }
+                        self.pending =
+                            Pending::Entry { pc: a, by_prediction: true, choice: Some((from, idx)) }
                     }
                     TargetKind::Halt => self.pending = Pending::Stop,
                     TargetKind::Return => {
@@ -673,8 +821,12 @@ impl Processor {
         };
         let create = desc.create;
         // Descriptor fetch: on a miss the descriptor travels the bus.
-        if !self.desc_cache.access(entry) {
-            self.seq_ready_at = self.bus.request(now, 4) + 1;
+        let desc_hit = self.desc_cache.access(entry);
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::DescriptorFetch { cycle: now, entry, hit: desc_hit });
+        }
+        if !desc_hit {
+            self.seq_ready_at = self.bus.request_traced(now, 4, &mut self.sink) + 1;
             return Ok(());
         }
         let unit_idx = self.next_unit;
@@ -688,20 +840,30 @@ impl Processor {
             None => (self.boot_vals, RegMask::from_bits(!0)),
         };
         let awaiting = RegMask::from_bits(!known.bits());
-        if std::env::var_os("MS_TRACE").is_some() {
+        if self.log_events {
             eprintln!(
                 "[{now}] assign: #{} -> u{unit_idx} @{entry:#x} awaiting={} (pred {:?})",
                 self.next_order,
                 awaiting.difference(RegMask::from_bits(1)),
-                self.active.back().map(|r| (r.order, r.unit)).or(self
-                    .last_retired_unit
-                    .map(|u| (u64::MAX, u))),
+                self.active
+                    .back()
+                    .map(|r| (r.order, r.unit))
+                    .or(self.last_retired_unit.map(|u| (u64::MAX, u))),
             );
         }
         self.units[unit_idx].assign_task(entry, create, &vals, awaiting, now);
 
         let order = self.next_order;
         self.next_order += 1;
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::TaskAssign {
+                cycle: now,
+                order,
+                unit: unit_idx,
+                entry,
+                by_prediction,
+            });
+        }
         if self.active.is_empty() {
             self.arb.set_head(unit_idx);
         }
@@ -761,9 +923,6 @@ mod tests {
         assert_eq!(actual_target_index(&desc, ExitKind::Return(0x5555)), Some(1));
         assert_eq!(actual_target_index(&desc, ExitKind::Halt), Some(2));
         assert_eq!(actual_target_index(&desc, ExitKind::Jump(0x2000)), None);
-        assert_eq!(
-            actual_target_index(&desc, ExitKind::Call { target: 0x1000, ret: 0 }),
-            Some(0)
-        );
+        assert_eq!(actual_target_index(&desc, ExitKind::Call { target: 0x1000, ret: 0 }), Some(0));
     }
 }

@@ -47,20 +47,13 @@ impl Ring {
     /// Panics if any parameter is zero.
     pub fn new(n: usize, width: usize, hop_latency: u64) -> Ring {
         assert!(n > 0 && width > 0 && hop_latency > 0);
-        Ring {
-            width,
-            hop_latency,
-            queues: vec![VecDeque::new(); n],
-        }
+        Ring { width, hop_latency, queues: vec![VecDeque::new(); n] }
     }
 
     /// Enqueues a message at `unit`'s output port at cycle `now`; it can
     /// arrive at `unit + 1` once the hop latency elapses.
     pub fn send(&mut self, unit: usize, msg: RingMsg, now: u64) {
-        self.queues[unit].push_back(InFlight {
-            msg,
-            available_from: now + self.hop_latency,
-        });
+        self.queues[unit].push_back(InFlight { msg, available_from: now + self.hop_latency });
     }
 
     /// Advances to cycle `now`: up to `width` due messages leave each
@@ -79,6 +72,29 @@ impl Ring {
                     }
                     _ => break,
                 }
+            }
+        }
+        arrivals
+    }
+
+    /// [`Ring::step`] with trace instrumentation: emits a `RingHop` per
+    /// arriving message.
+    pub fn step_traced<S: ms_trace::TraceSink>(
+        &mut self,
+        now: u64,
+        sink: &mut S,
+    ) -> Vec<(usize, RingMsg)> {
+        let arrivals = self.step(now);
+        if S::ENABLED {
+            let n = self.queues.len();
+            for &(dest, ref msg) in &arrivals {
+                sink.event(&ms_trace::TraceEvent::RingHop {
+                    cycle: now,
+                    from: (dest + n - 1) % n,
+                    to: dest,
+                    reg: msg.reg.index() as u8,
+                    hops: msg.hops as u32,
+                });
             }
         }
         arrivals
@@ -112,12 +128,7 @@ mod tests {
     use super::*;
 
     fn msg(order: u64) -> RingMsg {
-        RingMsg {
-            reg: Reg::int(4),
-            val: 7,
-            sender_order: order,
-            hops: 0,
-        }
+        RingMsg { reg: Reg::int(4), val: 7, sender_order: order, hops: 0 }
     }
 
     #[test]

@@ -53,21 +53,9 @@ impl fmt::Display for CycleBreakdown {
         writeln!(f, "unit-cycle distribution ({t} unit-cycles):")?;
         writeln!(f, "  useful computation   {:6.2}%", Self::pct(self.useful, t))?;
         writeln!(f, "  non-useful (squashed){:6.2}%", Self::pct(self.non_useful, t))?;
-        writeln!(
-            f,
-            "  no comp: inter-task  {:6.2}%",
-            Self::pct(self.no_comp_inter_task, t)
-        )?;
-        writeln!(
-            f,
-            "  no comp: intra-task  {:6.2}%",
-            Self::pct(self.no_comp_intra_task, t)
-        )?;
-        writeln!(
-            f,
-            "  no comp: wait-retire {:6.2}%",
-            Self::pct(self.no_comp_wait_retire, t)
-        )?;
+        writeln!(f, "  no comp: inter-task  {:6.2}%", Self::pct(self.no_comp_inter_task, t))?;
+        writeln!(f, "  no comp: intra-task  {:6.2}%", Self::pct(self.no_comp_intra_task, t))?;
+        writeln!(f, "  no comp: wait-retire {:6.2}%", Self::pct(self.no_comp_wait_retire, t))?;
         writeln!(f, "  no comp: ARB full    {:6.2}%", Self::pct(self.no_comp_arb, t))?;
         write!(f, "  idle                 {:6.2}%", Self::pct(self.idle, t))
     }

@@ -152,7 +152,9 @@ mod opc {
 }
 
 fn r3(op: u8, a: Reg, b: Reg, c: Reg) -> u32 {
-    ((op as u32) << 24) | ((a.index() as u32) << 18) | ((b.index() as u32) << 12)
+    ((op as u32) << 24)
+        | ((a.index() as u32) << 18)
+        | ((b.index() as u32) << 12)
         | ((c.index() as u32) << 6)
 }
 
@@ -167,11 +169,7 @@ fn fits_unsigned(v: i64, bits: u32) -> bool {
 }
 
 fn i12(op: u8, a: Reg, b: Reg, imm: i32, signed: bool, text: &Instr) -> Result<u32, EncodeError> {
-    let ok = if signed {
-        fits_signed(imm as i64, 12)
-    } else {
-        fits_unsigned(imm as i64, 12)
-    };
+    let ok = if signed { fits_signed(imm as i64, 12) } else { fits_unsigned(imm as i64, 12) };
     if !ok {
         return Err(EncodeError::ImmOutOfRange {
             instr: text.to_string(),
@@ -328,10 +326,7 @@ fn decode_tags(tag: u8) -> Result<TagBits, DecodeError> {
         2 => StopCond::IfTaken,
         _ => StopCond::IfNotTaken,
     };
-    Ok(TagBits {
-        forward: tag & 0b100 != 0,
-        stop,
-    })
+    Ok(TagBits { forward: tag & 0b100 != 0, stop })
 }
 
 fn reg_field(word: u32, shift: u32) -> Result<Reg, DecodeError> {
@@ -467,10 +462,7 @@ pub fn decode(word: u32, tag: u8) -> Result<Instr, DecodeError> {
         }
         other => return Err(DecodeError::BadOpcode(other)),
     };
-    Ok(Instr {
-        op,
-        tags: decode_tags(tag)?,
-    })
+    Ok(Instr { op, tags: decode_tags(tag)? })
 }
 
 #[cfg(test)]
@@ -497,13 +489,7 @@ mod tests {
             Instr::new(Op::Ori { rt: r4, rs: r8, imm: 4095 }),
             Instr::new(Op::Sll { rd: r4, rt: r8, sh: 63 }),
             Instr::new(Op::Lui { rt: r4, imm: -131072 }),
-            Instr::new(Op::Load {
-                width: MemWidth::H,
-                signed: false,
-                rt: r4,
-                base: r8,
-                off: 2047,
-            }),
+            Instr::new(Op::Load { width: MemWidth::H, signed: false, rt: r4, base: r8, off: 2047 }),
             Instr::new(Op::Store { width: MemWidth::D, rt: r4, base: r8, off: -2048 }),
             Instr::new(Op::Beq { rs: r4, rt: r8, off: -1 }).with_stop(StopCond::IfTaken),
             Instr::new(Op::J { target: 0x3ff_fffc }),
@@ -520,9 +506,7 @@ mod tests {
             Instr::new(Op::FpCmp { cond: FpCmpCond::Le, prec: Prec::S, rd: r4, fs: f2, ft: f3 }),
             Instr::new(Op::CvtDW { fd: f2, rs: r4 }),
             Instr::new(Op::Dmfc1 { rt: r4, fs: f2 }),
-            Instr::new(Op::Release {
-                regs: RegList::from_slice(&[r8, Reg::int(17)]),
-            }),
+            Instr::new(Op::Release { regs: RegList::from_slice(&[r8, Reg::int(17)]) }),
         ];
         for c in cases {
             roundtrip(c);
@@ -545,12 +529,8 @@ mod tests {
     #[test]
     fn tags_roundtrip_all_combinations() {
         for fwd in [false, true] {
-            for stop in [
-                StopCond::None,
-                StopCond::Always,
-                StopCond::IfTaken,
-                StopCond::IfNotTaken,
-            ] {
+            for stop in [StopCond::None, StopCond::Always, StopCond::IfTaken, StopCond::IfNotTaken]
+            {
                 let t = TagBits { forward: fwd, stop };
                 assert_eq!(decode_tags(encode_tags(t)).unwrap(), t);
             }

@@ -21,10 +21,7 @@ pub struct Instr {
 impl Instr {
     /// An untagged instruction.
     pub fn new(op: Op) -> Instr {
-        Instr {
-            op,
-            tags: TagBits::NONE,
-        }
+        Instr { op, tags: TagBits::NONE }
     }
 
     /// Sets the forward bit (builder style).
@@ -65,12 +62,8 @@ mod tests {
 
     #[test]
     fn display_includes_tag_suffixes() {
-        let i = Instr::new(Op::Bne {
-            rs: Reg::int(20),
-            rt: Reg::int(16),
-            off: -14,
-        })
-        .with_stop(StopCond::Always);
+        let i = Instr::new(Op::Bne { rs: Reg::int(20), rt: Reg::int(16), off: -14 })
+            .with_stop(StopCond::Always);
         assert_eq!(i.to_string(), "bne!s $20, $16, -14");
 
         let j = Instr::new(Op::Halt);
@@ -79,9 +72,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let i = Instr::new(Op::Nop)
-            .with_forward()
-            .with_stop(StopCond::IfTaken);
+        let i = Instr::new(Op::Nop).with_forward().with_stop(StopCond::IfTaken);
         assert!(i.tags.forward);
         assert_eq!(i.tags.stop, StopCond::IfTaken);
     }

@@ -110,10 +110,7 @@ pub struct RegList {
 
 impl RegList {
     /// The empty list.
-    pub const EMPTY: RegList = RegList {
-        regs: [None; 3],
-        len: 0,
-    };
+    pub const EMPTY: RegList = RegList { regs: [None; 3], len: 0 };
 
     /// Maximum capacity of the list.
     pub const CAPACITY: usize = 3;
@@ -188,70 +185,242 @@ impl FromIterator<Reg> for RegList {
 #[allow(missing_docs)] // operand fields follow the MIPS naming convention described above
 pub enum Op {
     // ---- integer register-register ----
-    Addu { rd: Reg, rs: Reg, rt: Reg },
-    Subu { rd: Reg, rs: Reg, rt: Reg },
-    And { rd: Reg, rs: Reg, rt: Reg },
-    Or { rd: Reg, rs: Reg, rt: Reg },
-    Xor { rd: Reg, rs: Reg, rt: Reg },
-    Nor { rd: Reg, rs: Reg, rt: Reg },
-    Sllv { rd: Reg, rt: Reg, rs: Reg },
-    Srlv { rd: Reg, rt: Reg, rs: Reg },
-    Srav { rd: Reg, rt: Reg, rs: Reg },
-    Slt { rd: Reg, rs: Reg, rt: Reg },
-    Sltu { rd: Reg, rs: Reg, rt: Reg },
-    Mul { rd: Reg, rs: Reg, rt: Reg },
-    Div { rd: Reg, rs: Reg, rt: Reg },
-    Rem { rd: Reg, rs: Reg, rt: Reg },
+    Addu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Subu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Nor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sllv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srlv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srav {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Mul {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Div {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Rem {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
 
     // ---- integer immediate ----
-    Addiu { rt: Reg, rs: Reg, imm: i32 },
-    Andi { rt: Reg, rs: Reg, imm: i32 },
-    Ori { rt: Reg, rs: Reg, imm: i32 },
-    Xori { rt: Reg, rs: Reg, imm: i32 },
-    Slti { rt: Reg, rs: Reg, imm: i32 },
-    Sltiu { rt: Reg, rs: Reg, imm: i32 },
-    Sll { rd: Reg, rt: Reg, sh: u8 },
-    Srl { rd: Reg, rt: Reg, sh: u8 },
-    Sra { rd: Reg, rt: Reg, sh: u8 },
+    Addiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i32,
+    },
+    Andi {
+        rt: Reg,
+        rs: Reg,
+        imm: i32,
+    },
+    Ori {
+        rt: Reg,
+        rs: Reg,
+        imm: i32,
+    },
+    Xori {
+        rt: Reg,
+        rs: Reg,
+        imm: i32,
+    },
+    Slti {
+        rt: Reg,
+        rs: Reg,
+        imm: i32,
+    },
+    Sltiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i32,
+    },
+    Sll {
+        rd: Reg,
+        rt: Reg,
+        sh: u8,
+    },
+    Srl {
+        rd: Reg,
+        rt: Reg,
+        sh: u8,
+    },
+    Sra {
+        rd: Reg,
+        rt: Reg,
+        sh: u8,
+    },
     /// `rt = sign_extend(imm18) << 12`
-    Lui { rt: Reg, imm: i32 },
+    Lui {
+        rt: Reg,
+        imm: i32,
+    },
 
     // ---- memory ----
-    Load { width: MemWidth, signed: bool, rt: Reg, base: Reg, off: i32 },
-    Store { width: MemWidth, rt: Reg, base: Reg, off: i32 },
+    Load {
+        width: MemWidth,
+        signed: bool,
+        rt: Reg,
+        base: Reg,
+        off: i32,
+    },
+    Store {
+        width: MemWidth,
+        rt: Reg,
+        base: Reg,
+        off: i32,
+    },
 
     // ---- control ----
-    Beq { rs: Reg, rt: Reg, off: i32 },
-    Bne { rs: Reg, rt: Reg, off: i32 },
-    Blez { rs: Reg, off: i32 },
-    Bgtz { rs: Reg, off: i32 },
-    Bltz { rs: Reg, off: i32 },
-    Bgez { rs: Reg, off: i32 },
-    J { target: u32 },
-    Jal { target: u32 },
-    Jr { rs: Reg },
-    Jalr { rd: Reg, rs: Reg },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        off: i32,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        off: i32,
+    },
+    Blez {
+        rs: Reg,
+        off: i32,
+    },
+    Bgtz {
+        rs: Reg,
+        off: i32,
+    },
+    Bltz {
+        rs: Reg,
+        off: i32,
+    },
+    Bgez {
+        rs: Reg,
+        off: i32,
+    },
+    J {
+        target: u32,
+    },
+    Jal {
+        target: u32,
+    },
+    Jr {
+        rs: Reg,
+    },
+    Jalr {
+        rd: Reg,
+        rs: Reg,
+    },
 
     // ---- floating point ----
-    FpArith { kind: FpArithKind, prec: Prec, fd: Reg, fs: Reg, ft: Reg },
-    FpCmp { cond: FpCmpCond, prec: Prec, rd: Reg, fs: Reg, ft: Reg },
-    FpNeg { prec: Prec, fd: Reg, fs: Reg },
-    FpAbs { prec: Prec, fd: Reg, fs: Reg },
-    FpMov { fd: Reg, fs: Reg },
+    FpArith {
+        kind: FpArithKind,
+        prec: Prec,
+        fd: Reg,
+        fs: Reg,
+        ft: Reg,
+    },
+    FpCmp {
+        cond: FpCmpCond,
+        prec: Prec,
+        rd: Reg,
+        fs: Reg,
+        ft: Reg,
+    },
+    FpNeg {
+        prec: Prec,
+        fd: Reg,
+        fs: Reg,
+    },
+    FpAbs {
+        prec: Prec,
+        fd: Reg,
+        fs: Reg,
+    },
+    FpMov {
+        fd: Reg,
+        fs: Reg,
+    },
     /// Convert word (integer register) to double (fp register).
-    CvtDW { fd: Reg, rs: Reg },
+    CvtDW {
+        fd: Reg,
+        rs: Reg,
+    },
     /// Convert double (fp register) to word (integer register), truncating.
-    CvtWD { rd: Reg, fs: Reg },
+    CvtWD {
+        rd: Reg,
+        fs: Reg,
+    },
     /// Move raw 64 bits from integer register `rt` to fp register `fs`.
-    Dmtc1 { fs: Reg, rt: Reg },
+    Dmtc1 {
+        fs: Reg,
+        rt: Reg,
+    },
     /// Move raw 64 bits from fp register `fs` to integer register `rt`.
-    Dmfc1 { rt: Reg, fs: Reg },
+    Dmfc1 {
+        rt: Reg,
+        fs: Reg,
+    },
 
     // ---- multiscalar / simulator control ----
     /// Forward the current values of up to three registers to successor
     /// tasks (paper Section 2.2: values a task "indicated it might produce"
     /// but did not).
-    Release { regs: RegList },
+    Release {
+        regs: RegList,
+    },
     /// Terminate the program.
     Halt,
     /// No operation.
@@ -311,10 +480,23 @@ impl Op {
         match self {
             Mul { .. } | Div { .. } | Rem { .. } => FuClass::ComplexInt,
             Load { .. } | Store { .. } => FuClass::Mem,
-            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. }
-            | J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } => FuClass::Branch,
-            FpArith { .. } | FpCmp { .. } | FpNeg { .. } | FpAbs { .. } | FpMov { .. }
-            | CvtDW { .. } | CvtWD { .. } => FuClass::Fp,
+            Beq { .. }
+            | Bne { .. }
+            | Blez { .. }
+            | Bgtz { .. }
+            | Bltz { .. }
+            | Bgez { .. }
+            | J { .. }
+            | Jal { .. }
+            | Jr { .. }
+            | Jalr { .. } => FuClass::Branch,
+            FpArith { .. }
+            | FpCmp { .. }
+            | FpNeg { .. }
+            | FpAbs { .. }
+            | FpMov { .. }
+            | CvtDW { .. }
+            | CvtWD { .. } => FuClass::Fp,
             _ => FuClass::SimpleInt,
         }
     }
@@ -327,8 +509,16 @@ impl Op {
             Div { .. } | Rem { .. } => ExecClass::IntDiv,
             Load { .. } => ExecClass::Load,
             Store { .. } => ExecClass::Store,
-            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. }
-            | J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } => ExecClass::Branch,
+            Beq { .. }
+            | Bne { .. }
+            | Blez { .. }
+            | Bgtz { .. }
+            | Bltz { .. }
+            | Bgez { .. }
+            | J { .. }
+            | Jal { .. }
+            | Jr { .. }
+            | Jalr { .. } => ExecClass::Branch,
             FpArith { kind, prec, .. } => match (kind, prec) {
                 (FpArithKind::Add | FpArithKind::Sub, Prec::S) => ExecClass::FpAddS,
                 (FpArithKind::Mul, Prec::S) => ExecClass::FpMulS,
@@ -351,16 +541,37 @@ impl Op {
     pub fn def(&self) -> Option<Reg> {
         use Op::*;
         match *self {
-            Addu { rd, .. } | Subu { rd, .. } | And { rd, .. } | Or { rd, .. }
-            | Xor { rd, .. } | Nor { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. }
-            | Srav { rd, .. } | Slt { rd, .. } | Sltu { rd, .. } | Mul { rd, .. }
-            | Div { rd, .. } | Rem { rd, .. } | Sll { rd, .. } | Srl { rd, .. }
-            | Sra { rd, .. } | Jalr { rd, .. } => Some(rd),
-            Addiu { rt, .. } | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. }
-            | Slti { rt, .. } | Sltiu { rt, .. } | Lui { rt, .. } => Some(rt),
+            Addu { rd, .. }
+            | Subu { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Srav { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Rem { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Jalr { rd, .. } => Some(rd),
+            Addiu { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Slti { rt, .. }
+            | Sltiu { rt, .. }
+            | Lui { rt, .. } => Some(rt),
             Load { rt, .. } => Some(rt),
             Jal { .. } => Some(Reg::RA),
-            FpArith { fd, .. } | FpNeg { fd, .. } | FpAbs { fd, .. } | FpMov { fd, .. }
+            FpArith { fd, .. }
+            | FpNeg { fd, .. }
+            | FpAbs { fd, .. }
+            | FpMov { fd, .. }
             | CvtDW { fd, .. } => Some(fd),
             FpCmp { rd, .. } | CvtWD { rd, .. } => Some(rd),
             Dmtc1 { fs, .. } => Some(fs),
@@ -373,13 +584,26 @@ impl Op {
     pub fn uses(&self) -> RegList {
         use Op::*;
         match *self {
-            Addu { rs, rt, .. } | Subu { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. }
-            | Xor { rs, rt, .. } | Nor { rs, rt, .. } | Slt { rs, rt, .. }
-            | Sltu { rs, rt, .. } | Mul { rs, rt, .. } | Div { rs, rt, .. }
-            | Rem { rs, rt, .. } | Sllv { rs, rt, .. } | Srlv { rs, rt, .. }
+            Addu { rs, rt, .. }
+            | Subu { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Mul { rs, rt, .. }
+            | Div { rs, rt, .. }
+            | Rem { rs, rt, .. }
+            | Sllv { rs, rt, .. }
+            | Srlv { rs, rt, .. }
             | Srav { rs, rt, .. } => RegList::from_slice(&[rs, rt]),
-            Addiu { rs, .. } | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. }
-            | Slti { rs, .. } | Sltiu { rs, .. } => RegList::from_slice(&[rs]),
+            Addiu { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. }
+            | Slti { rs, .. }
+            | Sltiu { rs, .. } => RegList::from_slice(&[rs]),
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => RegList::from_slice(&[rt]),
             Lui { .. } | J { .. } | Jal { .. } | Halt | Nop | Release { .. } => RegList::EMPTY,
             Load { base, .. } => RegList::from_slice(&[base]),
@@ -390,7 +614,10 @@ impl Op {
             }
             Jr { rs } | Jalr { rs, .. } => RegList::from_slice(&[rs]),
             FpArith { fs, ft, .. } | FpCmp { fs, ft, .. } => RegList::from_slice(&[fs, ft]),
-            FpNeg { fs, .. } | FpAbs { fs, .. } | FpMov { fs, .. } | CvtWD { fs, .. }
+            FpNeg { fs, .. }
+            | FpAbs { fs, .. }
+            | FpMov { fs, .. }
+            | CvtWD { fs, .. }
             | Dmfc1 { fs, .. } => RegList::from_slice(&[fs]),
             CvtDW { rs, .. } => RegList::from_slice(&[rs]),
             Dmtc1 { rt, .. } => RegList::from_slice(&[rt]),
@@ -506,15 +733,26 @@ impl Op {
     pub fn operands(&self) -> String {
         use Op::*;
         match *self {
-            Addu { rd, rs, rt } | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
-            | Xor { rd, rs, rt } | Nor { rd, rs, rt } | Slt { rd, rs, rt }
-            | Sltu { rd, rs, rt } | Mul { rd, rs, rt } | Div { rd, rs, rt }
+            Addu { rd, rs, rt }
+            | Subu { rd, rs, rt }
+            | And { rd, rs, rt }
+            | Or { rd, rs, rt }
+            | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt }
+            | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt }
+            | Mul { rd, rs, rt }
+            | Div { rd, rs, rt }
             | Rem { rd, rs, rt } => format!("{rd}, {rs}, {rt}"),
             Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => {
                 format!("{rd}, {rt}, {rs}")
             }
-            Addiu { rt, rs, imm } | Andi { rt, rs, imm } | Ori { rt, rs, imm }
-            | Xori { rt, rs, imm } | Slti { rt, rs, imm } | Sltiu { rt, rs, imm } => {
+            Addiu { rt, rs, imm }
+            | Andi { rt, rs, imm }
+            | Ori { rt, rs, imm }
+            | Xori { rt, rs, imm }
+            | Slti { rt, rs, imm }
+            | Sltiu { rt, rs, imm } => {
                 format!("{rt}, {rs}, {imm}")
             }
             Sll { rd, rt, sh } | Srl { rd, rt, sh } | Sra { rd, rt, sh } => {

@@ -46,11 +46,7 @@ pub struct Program {
 impl Program {
     /// An empty program based at [`TEXT_BASE`].
     pub fn new() -> Program {
-        Program {
-            text_base: TEXT_BASE,
-            entry: TEXT_BASE,
-            ..Program::default()
-        }
+        Program { text_base: TEXT_BASE, entry: TEXT_BASE, ..Program::default() }
     }
 
     /// The instruction at byte address `pc`, if it lies in the text

@@ -115,8 +115,8 @@ impl std::error::Error for ParseRegError {}
 /// MIPS-convention symbolic names, in numeric order `$0`..`$31`.
 const INT_ALIASES: [&str; 32] = [
     "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
-    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
-    "fp", "ra",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp", "fp",
+    "ra",
 ];
 
 impl FromStr for Reg {
@@ -139,11 +139,7 @@ impl FromStr for Reg {
             }
             return Err(err());
         }
-        INT_ALIASES
-            .iter()
-            .position(|&a| a == body)
-            .map(|i| Reg(i as u8))
-            .ok_or_else(err)
+        INT_ALIASES.iter().position(|&a| a == body).map(|i| Reg(i as u8)).ok_or_else(err)
     }
 }
 

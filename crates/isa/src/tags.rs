@@ -64,10 +64,7 @@ pub struct TagBits {
 
 impl TagBits {
     /// Tag bits with nothing set.
-    pub const NONE: TagBits = TagBits {
-        forward: false,
-        stop: StopCond::None,
-    };
+    pub const NONE: TagBits = TagBits { forward: false, stop: StopCond::None };
 
     /// Whether any tag bit is set.
     pub fn is_any(self) -> bool {
@@ -163,13 +160,15 @@ impl RegMask {
 
     /// Iterates over member registers in index order.
     pub fn iter(self) -> impl Iterator<Item = Reg> {
-        (0..NUM_REGS).filter_map(move |i| {
-            if self.0 & (1u64 << i) != 0 {
-                Reg::from_index(i)
-            } else {
-                None
-            }
-        })
+        (0..NUM_REGS).filter_map(
+            move |i| {
+                if self.0 & (1u64 << i) != 0 {
+                    Reg::from_index(i)
+                } else {
+                    None
+                }
+            },
+        )
     }
 }
 
@@ -260,25 +259,16 @@ mod tests {
 
     #[test]
     fn display_matches_paper_style() {
-        let m: RegMask = [
-            Reg::int(4),
-            Reg::int(8),
-            Reg::int(17),
-            Reg::int(20),
-            Reg::int(23),
-        ]
-        .into_iter()
-        .collect();
+        let m: RegMask = [Reg::int(4), Reg::int(8), Reg::int(17), Reg::int(20), Reg::int(23)]
+            .into_iter()
+            .collect();
         assert_eq!(m.to_string(), "$4,$8,$17,$20,$23");
         assert_eq!(RegMask::EMPTY.to_string(), "(none)");
     }
 
     #[test]
     fn tag_suffixes() {
-        let t = TagBits {
-            forward: true,
-            stop: StopCond::Always,
-        };
+        let t = TagBits { forward: true, stop: StopCond::Always };
         assert_eq!(t.suffix(), "!f!s");
         assert!(t.is_any());
         assert!(!TagBits::NONE.is_any());

@@ -36,23 +36,17 @@ pub struct TaskTarget {
 impl TaskTarget {
     /// A static-address target.
     pub fn addr(a: u32) -> TaskTarget {
-        TaskTarget {
-            kind: TargetKind::Addr(a),
-        }
+        TaskTarget { kind: TargetKind::Addr(a) }
     }
 
     /// A return target.
     pub fn ret() -> TaskTarget {
-        TaskTarget {
-            kind: TargetKind::Return,
-        }
+        TaskTarget { kind: TargetKind::Return }
     }
 
     /// A program-exit target.
     pub fn halt() -> TaskTarget {
-        TaskTarget {
-            kind: TargetKind::Halt,
-        }
+        TaskTarget { kind: TargetKind::Halt }
     }
 }
 
@@ -78,18 +72,12 @@ impl TaskDescriptor {
             !targets.is_empty() && targets.len() <= MAX_TARGETS,
             "task descriptor must have 1..={MAX_TARGETS} targets"
         );
-        TaskDescriptor {
-            entry,
-            create,
-            targets,
-        }
+        TaskDescriptor { entry, create, targets }
     }
 
     /// The index of `addr` among this descriptor's static targets, if any.
     pub fn target_index_for(&self, addr: u32) -> Option<usize> {
-        self.targets
-            .iter()
-            .position(|t| matches!(t.kind, TargetKind::Addr(a) if a == addr))
+        self.targets.iter().position(|t| matches!(t.kind, TargetKind::Addr(a) if a == addr))
     }
 }
 
@@ -130,11 +118,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "targets")]
     fn too_many_targets_rejected() {
-        TaskDescriptor::new(
-            0,
-            RegMask::EMPTY,
-            vec![TaskTarget::halt(); MAX_TARGETS + 1],
-        );
+        TaskDescriptor::new(0, RegMask::EMPTY, vec![TaskTarget::halt(); MAX_TARGETS + 1]);
     }
 
     #[test]

@@ -88,8 +88,7 @@ fn all_ops() -> Vec<Op> {
 fn every_variant_encodes_and_round_trips() {
     for op in all_ops() {
         let instr = Instr::new(op);
-        let (word, tag) = encode(&instr)
-            .unwrap_or_else(|e| panic!("{instr} fails to encode: {e}"));
+        let (word, tag) = encode(&instr).unwrap_or_else(|e| panic!("{instr} fails to encode: {e}"));
         let back = decode(word, tag).unwrap_or_else(|e| panic!("{instr}: {e}"));
         assert_eq!(back, instr, "round trip for {instr}");
     }

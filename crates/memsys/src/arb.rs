@@ -355,6 +355,84 @@ impl Arb {
         Ok(violated)
     }
 
+    /// [`Arb::load`] with trace instrumentation: emits an `ArbLoad` on
+    /// success (noting forwarding) or an `ArbFullStall` on allocation
+    /// failure, timestamped `now`.
+    pub fn load_traced<S: ms_trace::TraceSink>(
+        &mut self,
+        now: u64,
+        stage: usize,
+        addr: u32,
+        size: u32,
+        mem: &Memory,
+        sink: &mut S,
+    ) -> Result<LoadResult, ArbFull> {
+        let result = self.load(stage, addr, size, mem);
+        if S::ENABLED {
+            match &result {
+                Ok(r) => sink.event(&ms_trace::TraceEvent::ArbLoad {
+                    cycle: now,
+                    unit: stage,
+                    addr,
+                    size,
+                    forwarded: r.forwarded,
+                }),
+                Err(_) => sink.event(&ms_trace::TraceEvent::ArbFullStall {
+                    cycle: now,
+                    unit: stage,
+                    addr,
+                    is_store: false,
+                }),
+            }
+        }
+        result
+    }
+
+    /// [`Arb::store`] with trace instrumentation: emits an `ArbStore` on
+    /// success plus one `ArbViolation` per squash-worthy stage, or an
+    /// `ArbFullStall` on allocation failure, timestamped `now`.
+    #[allow(clippy::too_many_arguments)] // mirrors `store` plus (now, sink)
+    pub fn store_traced<S: ms_trace::TraceSink>(
+        &mut self,
+        now: u64,
+        stage: usize,
+        addr: u32,
+        size: u32,
+        value: u64,
+        active_ranks: usize,
+        sink: &mut S,
+    ) -> Result<Vec<usize>, ArbFull> {
+        let result = self.store(stage, addr, size, value, active_ranks);
+        if S::ENABLED {
+            match &result {
+                Ok(violated) => {
+                    sink.event(&ms_trace::TraceEvent::ArbStore {
+                        cycle: now,
+                        unit: stage,
+                        addr,
+                        size,
+                        violated: !violated.is_empty(),
+                    });
+                    for &v in violated {
+                        sink.event(&ms_trace::TraceEvent::ArbViolation {
+                            cycle: now,
+                            store_unit: stage,
+                            violated_unit: v,
+                            addr,
+                        });
+                    }
+                }
+                Err(_) => sink.event(&ms_trace::TraceEvent::ArbFullStall {
+                    cycle: now,
+                    unit: stage,
+                    addr,
+                    is_store: true,
+                }),
+            }
+        }
+        result
+    }
+
     /// Clears all ARB state for `stage` (task squashed). Entries that
     /// become empty are reclaimed.
     pub fn free_stage(&mut self, stage: usize) {

@@ -109,15 +109,41 @@ impl DataBanks {
         forwarded_from_arb: bool,
         bus: &mut MemBus,
     ) -> u64 {
+        self.access_load_traced(now, addr, forwarded_from_arb, bus, &mut ms_trace::NullSink)
+    }
+
+    /// [`DataBanks::access_load`] with trace instrumentation: emits a
+    /// `DCacheAccess` per bank access (ARB-forwarded loads count as hits)
+    /// and routes miss fills through the traced bus path.
+    pub fn access_load_traced<S: ms_trace::TraceSink>(
+        &mut self,
+        now: u64,
+        addr: u32,
+        forwarded_from_arb: bool,
+        bus: &mut MemBus,
+        sink: &mut S,
+    ) -> u64 {
         let (b, start) = self.start_service(now, addr);
         if forwarded_from_arb {
+            if S::ENABLED {
+                sink.event(&ms_trace::TraceEvent::DCacheAccess {
+                    cycle: start,
+                    bank: b,
+                    addr,
+                    hit: true,
+                });
+            }
             return start + self.cfg.hit_time;
         }
         let hit = self.banks[b].cache.access(addr);
+        if S::ENABLED {
+            sink.event(&ms_trace::TraceEvent::DCacheAccess { cycle: start, bank: b, addr, hit });
+        }
         if hit {
             start + self.cfg.hit_time
         } else {
-            let done = bus.request(start + self.cfg.hit_time, self.cfg.block_bytes / 4);
+            let done =
+                bus.request_traced(start + self.cfg.hit_time, self.cfg.block_bytes / 4, sink);
             done + self.cfg.miss_extra
         }
     }
@@ -174,10 +200,7 @@ mod tests {
     use crate::bus::BusConfig;
 
     fn setup() -> (DataBanks, MemBus) {
-        (
-            DataBanks::new(DataBanksConfig::multiscalar(4)),
-            MemBus::new(BusConfig::default()),
-        )
+        (DataBanks::new(DataBanksConfig::multiscalar(4)), MemBus::new(BusConfig::default()))
     }
 
     #[test]

@@ -21,10 +21,7 @@ pub struct BusConfig {
 
 impl Default for BusConfig {
     fn default() -> Self {
-        BusConfig {
-            first_beat: 10,
-            extra_beat: 1,
-        }
+        BusConfig { first_beat: 10, extra_beat: 1 }
     }
 }
 
@@ -50,11 +47,7 @@ pub struct MemBus {
 impl MemBus {
     /// A bus with the paper's timing.
     pub fn new(cfg: BusConfig) -> MemBus {
-        MemBus {
-            cfg,
-            free_at: 0,
-            stats: BusStats::default(),
-        }
+        MemBus { cfg, free_at: 0, stats: BusStats::default() }
     }
 
     /// Issues a transfer of `words` 32-bit words at cycle `now`; returns
@@ -68,6 +61,22 @@ impl MemBus {
         self.stats.busy_cycles += duration;
         self.free_at = start + duration;
         self.free_at
+    }
+
+    /// [`MemBus::request`] with trace instrumentation: emits a
+    /// [`TraceEvent::BusRequest`] recording queueing delay and completion.
+    pub fn request_traced<S: ms_trace::TraceSink>(
+        &mut self,
+        now: u64,
+        words: u32,
+        sink: &mut S,
+    ) -> u64 {
+        let waited = self.free_at.saturating_sub(now);
+        let done = self.request(now, words);
+        if S::ENABLED {
+            sink.event(&ms_trace::TraceEvent::BusRequest { cycle: now, words, waited, done });
+        }
+        done
     }
 
     /// The first cycle at which the bus is idle.

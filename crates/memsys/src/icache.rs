@@ -24,12 +24,7 @@ pub struct ICacheConfig {
 
 impl Default for ICacheConfig {
     fn default() -> Self {
-        ICacheConfig {
-            size_bytes: 32 * 1024,
-            block_bytes: 64,
-            hit_time: 1,
-            miss_extra: 3,
-        }
+        ICacheConfig { size_bytes: 32 * 1024, block_bytes: 64, hit_time: 1, miss_extra: 3 }
     }
 }
 
@@ -42,20 +37,34 @@ pub struct ICache {
 impl ICache {
     /// Builds an instruction cache.
     pub fn new(cfg: ICacheConfig) -> ICache {
-        ICache {
-            cache: DirectMappedCache::new(cfg.size_bytes, cfg.block_bytes),
-            cfg,
-        }
+        ICache { cache: DirectMappedCache::new(cfg.size_bytes, cfg.block_bytes), cfg }
     }
 
     /// Fetches the block containing `pc` at cycle `now`; returns the cycle
     /// the instructions are available.
     pub fn fetch(&mut self, now: u64, pc: u32, bus: &mut MemBus) -> u64 {
+        self.fetch_traced(now, pc, bus, usize::MAX, &mut ms_trace::NullSink)
+    }
+
+    /// [`ICache::fetch`] with trace instrumentation: emits an
+    /// `ICacheFetch` tagged with the owning `unit` and routes miss fills
+    /// through the traced bus path.
+    pub fn fetch_traced<S: ms_trace::TraceSink>(
+        &mut self,
+        now: u64,
+        pc: u32,
+        bus: &mut MemBus,
+        unit: usize,
+        sink: &mut S,
+    ) -> u64 {
         let hit = self.cache.access(pc);
+        if S::ENABLED {
+            sink.event(&ms_trace::TraceEvent::ICacheFetch { cycle: now, unit, pc, hit });
+        }
         if hit {
             now + self.cfg.hit_time
         } else {
-            let done = bus.request(now + self.cfg.hit_time, self.cfg.block_bytes / 4);
+            let done = bus.request_traced(now + self.cfg.hit_time, self.cfg.block_bytes / 4, sink);
             done + self.cfg.miss_extra
         }
     }
@@ -106,7 +115,7 @@ mod tests {
         let mut ic = ICache::new(ICacheConfig::default());
         let mut bus = MemBus::new(BusConfig::default());
         bus.request(0, 16); // someone else owns the bus until 13
-        // Fill issues at cycle 1, waits until 13, transfers 13, +3 extra.
+                            // Fill issues at cycle 1, waits until 13, transfers 13, +3 extra.
         assert_eq!(ic.fetch(0, 0x1000, &mut bus), 13 + 13 + 3);
     }
 }

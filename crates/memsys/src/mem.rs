@@ -26,9 +26,7 @@ impl Memory {
     }
 
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Reads one byte.
@@ -78,9 +76,7 @@ impl Memory {
 
     /// Reads `len` bytes starting at `addr`.
     pub fn read_vec(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
-            .collect()
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i as u32))).collect()
     }
 
     /// Number of resident pages (for diagnostics).

@@ -82,11 +82,7 @@ pub fn execute(instr: &Instr, pc: u32, read: impl Fn(Reg) -> u64) -> Outcome {
     let mut out = Outcome::default();
     let branch = |taken: bool, off: i32| ControlOutcome {
         taken,
-        next_pc: if taken {
-            (pc as i64 + 4 + (off as i64) * 4) as u32
-        } else {
-            pc + 4
-        },
+        next_pc: if taken { (pc as i64 + 4 + (off as i64) * 4) as u32 } else { pc + 4 },
         conditional: true,
     };
     match instr.op {
@@ -168,11 +164,8 @@ pub fn execute(instr: &Instr, pc: u32, read: impl Fn(Reg) -> u64) -> Outcome {
             out.control = Some(ControlOutcome { taken: true, next_pc: target, conditional: false });
         }
         Jr { rs } => {
-            out.control = Some(ControlOutcome {
-                taken: true,
-                next_pc: read(rs) as u32,
-                conditional: false,
-            })
+            out.control =
+                Some(ControlOutcome { taken: true, next_pc: read(rs) as u32, conditional: false })
         }
         Jalr { rd, rs } => {
             let target = read(rs) as u32;
@@ -255,12 +248,7 @@ mod tests {
     use ms_isa::StopCond;
 
     fn run(op: Op, regs: &[(Reg, u64)]) -> Outcome {
-        let read = |r: Reg| {
-            regs.iter()
-                .find(|(x, _)| *x == r)
-                .map(|(_, v)| *v)
-                .unwrap_or(0)
-        };
+        let read = |r: Reg| regs.iter().find(|(x, _)| *x == r).map(|(_, v)| *v).unwrap_or(0);
         execute(&Instr::new(op), 0x1000, read)
     }
 
@@ -269,10 +257,7 @@ mod tests {
         let r = |n| Reg::int(n);
         let out = run(Op::Addu { rd: r(3), rs: r(1), rt: r(2) }, &[(r(1), 5), (r(2), 7)]);
         assert_eq!(out.writeback, Some((r(3), 12)));
-        let out = run(
-            Op::Subu { rd: r(3), rs: r(1), rt: r(2) },
-            &[(r(1), 5), (r(2), 7)],
-        );
+        let out = run(Op::Subu { rd: r(3), rs: r(1), rt: r(2) }, &[(r(1), 5), (r(2), 7)]);
         assert_eq!(out.writeback, Some((r(3), (-2i64) as u64)));
         let out = run(Op::Slt { rd: r(3), rs: r(1), rt: r(2) }, &[(r(1), u64::MAX), (r(2), 1)]);
         assert_eq!(out.writeback, Some((r(3), 1))); // -1 < 1 signed
@@ -381,9 +366,11 @@ mod tests {
 
     #[test]
     fn conversions_round_trip() {
-        let out = run(Op::CvtDW { fd: Reg::fp(0), rs: Reg::int(1) }, &[(Reg::int(1), (-7i64) as u64)]);
+        let out =
+            run(Op::CvtDW { fd: Reg::fp(0), rs: Reg::int(1) }, &[(Reg::int(1), (-7i64) as u64)]);
         assert_eq!(f64::from_bits(out.writeback.unwrap().1), -7.0);
-        let out = run(Op::CvtWD { rd: Reg::int(1), fs: Reg::fp(0) }, &[(Reg::fp(0), 3.9f64.to_bits())]);
+        let out =
+            run(Op::CvtWD { rd: Reg::int(1), fs: Reg::fp(0) }, &[(Reg::fp(0), 3.9f64.to_bits())]);
         assert_eq!(out.writeback.unwrap().1 as i64, 3); // truncation
     }
 

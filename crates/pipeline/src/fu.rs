@@ -100,10 +100,7 @@ impl FuPool {
     /// A pool for a unit of the given issue width (the number of simple
     /// integer units matches the issue width).
     pub fn new(issue_width: usize) -> FuPool {
-        FuPool {
-            counts: [issue_width as u8, 1, 1, 1, 1],
-            used: [0; 5],
-        }
+        FuPool { counts: [issue_width as u8, 1, 1, 1, 1], used: [0; 5] }
     }
 
     /// Resets per-cycle usage. Call once at the start of each cycle.

@@ -41,11 +41,7 @@ impl Default for RegFile {
 impl RegFile {
     /// A register file with all registers zero and ready.
     pub fn new() -> RegFile {
-        RegFile {
-            vals: [0; NUM_REGS],
-            awaiting: RegMask::EMPTY,
-            ready_at: [0; NUM_REGS],
-        }
+        RegFile { vals: [0; NUM_REGS], awaiting: RegMask::EMPTY, ready_at: [0; NUM_REGS] }
     }
 
     /// Installs the task-entry state: `vals` copied from the predecessor's

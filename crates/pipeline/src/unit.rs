@@ -25,6 +25,7 @@ use crate::fu::{FuPool, LatencyTable};
 use crate::regfile::{ReadStatus, RegFile};
 use ms_isa::{Instr, Op, Program, Reg, RegMask, StopCond, NUM_REGS};
 use ms_memsys::{Arb, DataBanks, ICache, ICacheConfig, MemBus, Memory};
+use ms_trace::{NullSink, StallReason, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// Static configuration of one processing unit.
@@ -435,6 +436,20 @@ impl ProcessingUnit {
     /// Runs one cycle. `prog` supplies instruction fetch; `ports` supplies
     /// the shared memory system.
     pub fn tick(&mut self, now: u64, prog: &Program, ports: &mut MemPorts<'_>) -> TickOutput {
+        self.tick_traced(now, prog, ports, &mut NullSink)
+    }
+
+    /// [`ProcessingUnit::tick`] with trace instrumentation: emits
+    /// fine-grained `UnitStall` reasons, fetch redirects, and the memory
+    /// events of every access made this cycle. With [`NullSink`] this is
+    /// exactly `tick` — the instrumentation compiles away.
+    pub fn tick_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        prog: &Program,
+        ports: &mut MemPorts<'_>,
+        sink: &mut S,
+    ) -> TickOutput {
         let mut out = TickOutput::default();
         if !self.active || self.fault.is_some() {
             out.stall = Some(StallClass::Idle);
@@ -446,10 +461,9 @@ impl ProcessingUnit {
         let mut issued = 0u32;
         if self.cfg.ooo {
             let mut idx = 0usize;
-            while issued < self.cfg.issue_width as u32
-                && idx < self.cfg.window.min(self.buf.len())
+            while issued < self.cfg.issue_width as u32 && idx < self.cfg.window.min(self.buf.len())
             {
-                match self.try_issue(idx, now, prog, ports, &mut out) {
+                match self.try_issue(idx, now, prog, ports, &mut out, sink) {
                     Ok(()) => issued += 1,
                     Err(b) => {
                         if first_block.is_none() {
@@ -461,7 +475,7 @@ impl ProcessingUnit {
             }
         } else {
             while issued < self.cfg.issue_width as u32 && !self.buf.is_empty() {
-                match self.try_issue(0, now, prog, ports, &mut out) {
+                match self.try_issue(0, now, prog, ports, &mut out, sink) {
                     Ok(()) => issued += 1,
                     Err(b) => {
                         first_block = Some(b);
@@ -473,7 +487,7 @@ impl ProcessingUnit {
         out.issued = issued;
         self.counters.instructions += issued as u64;
 
-        self.fetch_phase(now, prog, ports);
+        self.fetch_phase(now, prog, ports, sink);
         self.completion_phase(now);
 
         // Classify the cycle.
@@ -492,6 +506,26 @@ impl ProcessingUnit {
                 _ => StallClass::IntraTask,
             }
         };
+        if S::ENABLED && issued == 0 {
+            // Refine the Section-3 class into a per-cycle reason.
+            let reason = if self.stop_resolved && self.buf.is_empty() {
+                if now >= self.outstanding_max {
+                    StallReason::WaitRetire
+                } else {
+                    StallReason::Drain
+                }
+            } else {
+                match first_block {
+                    None | Some(Blocked::NotDecoded) => StallReason::FetchEmpty,
+                    Some(Blocked::WaitLocal) => StallReason::LocalDep,
+                    Some(Blocked::WaitRemote) => StallReason::RemoteDep,
+                    Some(Blocked::Fu) => StallReason::FuBusy,
+                    Some(Blocked::Hazard) => StallReason::Hazard,
+                    Some(Blocked::ArbFull) => StallReason::ArbFull,
+                }
+            };
+            sink.event(&TraceEvent::UnitStall { cycle: now, unit: self.id, reason });
+        }
         match stall {
             StallClass::Busy => self.counters.busy_cycles += 1,
             StallClass::InterTask => self.counters.inter_task_cycles += 1,
@@ -510,13 +544,14 @@ impl ProcessingUnit {
     }
 
     /// Attempts to issue the instruction at buffer index `idx`.
-    fn try_issue(
+    fn try_issue<S: TraceSink>(
         &mut self,
         idx: usize,
         now: u64,
         _prog: &Program,
         ports: &mut MemPorts<'_>,
         out: &mut TickOutput,
+        sink: &mut S,
     ) -> Result<(), Blocked> {
         let slot = self.buf[idx];
         if slot.ready_from > now {
@@ -582,7 +617,7 @@ impl ProcessingUnit {
         let mut done = now + lat;
 
         if let Some(mem) = outcome.mem {
-            done = self.issue_mem(&slot, mem, now + lat, ports, out)?;
+            done = self.issue_mem(&slot, mem, now + lat, ports, out, sink)?;
         }
         // Commit the FU now that nothing can fail.
         let ok = self.fu.try_acquire(fu_class);
@@ -632,34 +667,46 @@ impl ProcessingUnit {
                     self.fetch_pc = c.next_pc;
                     self.fetch_ready_at = now + 2;
                     self.fetch_mode = FetchMode::Run;
+                    if S::ENABLED {
+                        sink.event(&TraceEvent::UnitRedirect {
+                            cycle: now,
+                            unit: self.id,
+                            to_pc: c.next_pc,
+                        });
+                    }
                 }
             }
         }
 
         self.outstanding_max = self.outstanding_max.max(done);
         // Remove the issued slot.
-        let pos = self
-            .buf
-            .iter()
-            .position(|s| s.seq == this_seq)
-            .expect("issued slot present");
+        let pos = self.buf.iter().position(|s| s.seq == this_seq).expect("issued slot present");
         self.buf.remove(pos);
         Ok(())
     }
 
-    fn issue_mem(
+    fn issue_mem<S: TraceSink>(
         &mut self,
         slot: &Slot,
         req: MemRequest,
         access_at: u64,
         ports: &mut MemPorts<'_>,
         out: &mut TickOutput,
+        sink: &mut S,
     ) -> Result<u64, Blocked> {
         if req.is_store {
             match ports.arb.as_deref_mut() {
                 Some(arb) => {
                     let violations = arb
-                        .store(ports.stage, req.addr, req.size, req.value, ports.active_ranks)
+                        .store_traced(
+                            access_at,
+                            ports.stage,
+                            req.addr,
+                            req.size,
+                            req.value,
+                            ports.active_ranks,
+                            sink,
+                        )
                         .map_err(|_| Blocked::ArbFull)?;
                     out.violations.extend(violations);
                     Ok(ports.banks.access_store(access_at, req.addr))
@@ -673,15 +720,14 @@ impl ProcessingUnit {
             let (raw, forwarded) = match ports.arb.as_deref_mut() {
                 Some(arb) => {
                     let r = arb
-                        .load(ports.stage, req.addr, req.size, ports.mem)
+                        .load_traced(access_at, ports.stage, req.addr, req.size, ports.mem, sink)
                         .map_err(|_| Blocked::ArbFull)?;
                     (r.value, r.forwarded)
                 }
                 None => (ports.mem.read_le(req.addr, req.size), false),
             };
-            let completion = ports
-                .banks
-                .access_load(access_at, req.addr, forwarded, ports.bus);
+            let completion =
+                ports.banks.access_load_traced(access_at, req.addr, forwarded, ports.bus, sink);
             let value = extend_load_width(req, raw);
             let dest = req.dest.expect("loads have destinations");
             self.regs.write(dest, value, completion);
@@ -717,14 +763,20 @@ impl ProcessingUnit {
         }
     }
 
-    fn fetch_phase(&mut self, now: u64, prog: &Program, ports: &mut MemPorts<'_>) {
+    fn fetch_phase<S: TraceSink>(
+        &mut self,
+        now: u64,
+        prog: &Program,
+        ports: &mut MemPorts<'_>,
+        sink: &mut S,
+    ) {
         if self.fetch_mode != FetchMode::Run
             || self.buf.len() >= self.cfg.fetch_buffer
             || now < self.fetch_ready_at
         {
             return;
         }
-        let avail = self.icache.fetch(now, self.fetch_pc, ports.bus);
+        let avail = self.icache.fetch_traced(now, self.fetch_pc, ports.bus, self.id, sink);
         if avail > now + self.cfg.icache.hit_time {
             // Miss: resume when the fill completes.
             self.fetch_ready_at = avail;
@@ -928,9 +980,7 @@ mod tests {
 
     #[test]
     fn straight_line_arithmetic() {
-        let mut rig = Rig::scalar(
-            "main:\n li $2, 10\n li $3, 32\n addu $4, $2, $3\n halt\n",
-        );
+        let mut rig = Rig::scalar("main:\n li $2, 10\n li $3, 32\n addu $4, $2, $3\n halt\n");
         let (_, instrs) = rig.run();
         assert_eq!(instrs, 4);
         assert_eq!(rig.reg(Reg::int(4)), 42);
@@ -1027,7 +1077,8 @@ mod tests {
         let src = "main:\n li $2, 1\n li $3, 2\n addu $4, $2, $3\n addu $2, $4, $3\n mul $5, $2, $4\n subu $3, $5, $2\n halt\n";
         let mut io = Rig::build(src, UnitConfig::default());
         io.run();
-        let mut ooo = Rig::build(src, UnitConfig { ooo: true, issue_width: 2, ..UnitConfig::default() });
+        let mut ooo =
+            Rig::build(src, UnitConfig { ooo: true, issue_width: 2, ..UnitConfig::default() });
         ooo.run();
         for r in [2u8, 3, 4, 5] {
             assert_eq!(io.reg(Reg::int(r)), ooo.reg(Reg::int(r)), "reg ${r}");
@@ -1095,8 +1146,7 @@ mod multiscalar_unit_tests {
         fn assign_entry(&mut self, awaiting: RegMask) {
             let desc = self.prog.task_at(self.prog.entry).expect("task at entry");
             let vals = [0u64; NUM_REGS];
-            self.unit
-                .assign_task(self.prog.entry, desc.create, &vals, awaiting, 0);
+            self.unit.assign_task(self.prog.entry, desc.create, &vals, awaiting, 0);
         }
 
         fn tick(&mut self) -> TickOutput {

@@ -103,6 +103,29 @@ impl TaskPredictor {
         }
     }
 
+    /// [`TaskPredictor::predict`] with trace instrumentation: emits a
+    /// `TaskPredict` event carrying the history register the lookup used,
+    /// timestamped `now`.
+    pub fn predict_traced<S: ms_trace::TraceSink>(
+        &self,
+        now: u64,
+        task: u32,
+        ntargets: usize,
+        sink: &mut S,
+    ) -> usize {
+        let chosen = self.predict(task, ntargets);
+        if S::ENABLED {
+            sink.event(&ms_trace::TraceEvent::TaskPredict {
+                cycle: now,
+                task,
+                history: self.history(task),
+                chosen,
+                ntargets,
+            });
+        }
+        chosen
+    }
+
     /// Records that a prediction resolved (and whether it was correct);
     /// separated from [`TaskPredictor::predict`] because in the simulator
     /// correctness is only known at resolution.
@@ -120,7 +143,8 @@ impl TaskPredictor {
     /// Panics if `actual >= MAX_TARGETS`.
     pub fn train(&mut self, task: u32, hist: u16, actual: usize) {
         assert!(actual < MAX_TARGETS);
-        let entry = &mut self.patterns[Self::table_index(task)][hist as usize & (PATTERN_ENTRIES - 1)];
+        let entry =
+            &mut self.patterns[Self::table_index(task)][hist as usize & (PATTERN_ENTRIES - 1)];
         let target = (*entry & 0b11) as usize;
         let hysteresis = *entry & 0b100 != 0;
         if target == actual {
@@ -191,11 +215,7 @@ impl ReturnAddressStack {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> ReturnAddressStack {
         assert!(capacity > 0);
-        ReturnAddressStack {
-            slots: vec![0u32; capacity],
-            top: 0,
-            depth: 0,
-        }
+        ReturnAddressStack { slots: vec![0u32; capacity], top: 0, depth: 0 }
     }
 
     /// Pushes a return address.
@@ -258,12 +278,7 @@ impl DescriptorCache {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> DescriptorCache {
         assert!(entries > 0);
-        DescriptorCache {
-            tags: vec![None; entries],
-            entries,
-            accesses: 0,
-            misses: 0,
-        }
+        DescriptorCache { tags: vec![None; entries], entries, accesses: 0, misses: 0 }
     }
 
     /// Accesses the descriptor for the task at `entry`; returns whether it

@@ -1,0 +1,268 @@
+//! Chrome trace_event sink: per-unit task timelines viewable in
+//! `chrome://tracing` or Perfetto (<https://ui.perfetto.dev>).
+//!
+//! Mapping: one simulated cycle = 1 "microsecond" of trace time; each
+//! processing unit is a thread (`tid` = unit index) under one process,
+//! with a synthetic `sequencer` thread for squash-wave instants. Task
+//! occupancy appears as `"X"` complete events spanning assign →
+//! retire/squash; ARB occupancy samples become a `"C"` counter track;
+//! memory-order violations become instant markers.
+
+use std::io::Write;
+
+use crate::event::TraceEvent;
+use crate::json;
+use crate::sink::TraceSink;
+
+/// `tid` of the synthetic sequencer thread (squash-wave instants).
+const SEQ_TID: usize = 999;
+
+struct OpenSpan {
+    start: u64,
+    order: u64,
+    entry: u32,
+}
+
+/// Streams the event flow as Chrome trace_event JSON to a [`Write`]
+/// target. Call [`TraceSink::finish`] (or drop via `into_inner`) to
+/// close the JSON document.
+pub struct ChromeTraceSink<W: Write> {
+    writer: W,
+    open: Vec<Option<OpenSpan>>,
+    named_units: Vec<bool>,
+    wrote_any: bool,
+    finished: bool,
+    last_cycle: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    /// Wraps `writer` and emits the document prologue plus process
+    /// metadata.
+    pub fn new(writer: W) -> Self {
+        let mut s = Self {
+            writer,
+            open: Vec::new(),
+            named_units: Vec::new(),
+            wrote_any: false,
+            finished: false,
+            last_cycle: 0,
+            error: None,
+        };
+        s.raw("{\"traceEvents\":[");
+        s.emit(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"multiscalar\"}}"
+                .to_string(),
+        );
+        s.emit(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{SEQ_TID},\
+             \"args\":{{\"name\":\"sequencer\"}}}}"
+        ));
+        s
+    }
+
+    /// The first I/O error encountered, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Finishes the document and returns the writer (plus any sticky
+    /// error).
+    pub fn into_inner(mut self) -> (W, Option<std::io::Error>) {
+        self.finish();
+        (self.writer, self.error)
+    }
+
+    fn raw(&mut self, s: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.write_all(s.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    fn emit(&mut self, obj: String) {
+        if self.wrote_any {
+            self.raw(",\n");
+        } else {
+            self.raw("\n");
+        }
+        self.wrote_any = true;
+        self.raw(&obj);
+    }
+
+    fn ensure_unit_named(&mut self, unit: usize) {
+        if self.named_units.len() <= unit {
+            self.named_units.resize(unit + 1, false);
+        }
+        if !self.named_units[unit] {
+            self.named_units[unit] = true;
+            self.emit(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{unit},\
+                 \"args\":{{\"name\":\"unit {unit}\"}}}}"
+            ));
+        }
+    }
+
+    fn close_span(&mut self, unit: usize, end_cycle: u64, outcome: &str) {
+        let Some(span) = self.open.get_mut(unit).and_then(Option::take) else {
+            return;
+        };
+        let dur = end_cycle.saturating_sub(span.start);
+        let name = json::string(&format!("task@{:#x}", span.entry));
+        self.emit(format!(
+            "{{\"name\":{name},\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":{unit},\
+             \"ts\":{},\"dur\":{dur},\"args\":{{\"order\":{},\"entry\":{},\"end\":\"{outcome}\"}}}}",
+            span.start, span.order, span.entry
+        ));
+    }
+}
+
+impl<W: Write> TraceSink for ChromeTraceSink<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        if self.finished {
+            return;
+        }
+        self.last_cycle = self.last_cycle.max(ev.cycle());
+        match *ev {
+            TraceEvent::TaskAssign { cycle, order, unit, entry, .. } => {
+                self.ensure_unit_named(unit);
+                // A stale open span on this unit (shouldn't happen, but
+                // be robust) is closed at the new assign cycle.
+                self.close_span(unit, cycle, "reassigned");
+                if self.open.len() <= unit {
+                    self.open.resize_with(unit + 1, || None);
+                }
+                self.open[unit] = Some(OpenSpan { start: cycle, order, entry });
+            }
+            TraceEvent::TaskRetire { cycle, unit, .. } => {
+                self.close_span(unit, cycle, "retire");
+            }
+            TraceEvent::TaskSquash { cycle, unit, cause, .. } => {
+                let outcome = format!("squash:{}", cause.as_str());
+                self.close_span(unit, cycle, &outcome);
+            }
+            TraceEvent::SquashWave { cycle, cause, depth, .. } => {
+                self.emit(format!(
+                    "{{\"name\":\"squash ({}) x{depth}\",\"cat\":\"squash\",\"ph\":\"i\",\
+                     \"s\":\"g\",\"pid\":0,\"tid\":{SEQ_TID},\"ts\":{cycle}}}",
+                    cause.as_str()
+                ));
+            }
+            TraceEvent::ArbViolation { cycle, store_unit, violated_unit, addr } => {
+                self.ensure_unit_named(violated_unit);
+                self.emit(format!(
+                    "{{\"name\":\"mem violation\",\"cat\":\"arb\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"pid\":0,\"tid\":{violated_unit},\"ts\":{cycle},\
+                     \"args\":{{\"store_unit\":{store_unit},\"addr\":{addr}}}}}"
+                ));
+            }
+            TraceEvent::ArbOccupancy { cycle, entries } => {
+                self.emit(format!(
+                    "{{\"name\":\"arb_occupancy\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                     \"ts\":{cycle},\"args\":{{\"entries\":{entries}}}}}"
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        // Tasks still in flight at end-of-run get spans to the last
+        // observed cycle so the timeline stays complete.
+        for unit in 0..self.open.len() {
+            let end = self.last_cycle;
+            self.close_span(unit, end, "unfinished");
+        }
+        self.raw("\n]}\n");
+        if let Err(e) = self.writer.flush() {
+            self.error.get_or_insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SquashKind;
+
+    /// Golden output for a tiny two-task program: task #0 retires on
+    /// unit 0, task #1 is control-squashed on unit 1.
+    #[test]
+    fn golden_two_task_trace() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.event(&TraceEvent::TaskAssign {
+            cycle: 0,
+            order: 0,
+            unit: 0,
+            entry: 0x100,
+            by_prediction: false,
+        });
+        sink.event(&TraceEvent::TaskAssign {
+            cycle: 1,
+            order: 1,
+            unit: 1,
+            entry: 0x140,
+            by_prediction: true,
+        });
+        sink.event(&TraceEvent::TaskSquash {
+            cycle: 6,
+            order: 1,
+            unit: 1,
+            entry: 0x140,
+            cause: SquashKind::Control,
+        });
+        sink.event(&TraceEvent::SquashWave {
+            cycle: 6,
+            cause: SquashKind::Control,
+            depth: 1,
+            redirect: Some(0x180),
+        });
+        sink.event(&TraceEvent::TaskRetire {
+            cycle: 9,
+            order: 0,
+            unit: 0,
+            entry: 0x100,
+            instructions: 7,
+        });
+        let (buf, err) = sink.into_inner();
+        assert!(err.is_none());
+        let text = String::from_utf8(buf).unwrap();
+        let expected = "{\"traceEvents\":[\n\
+{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"multiscalar\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":999,\"args\":{\"name\":\"sequencer\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"unit 0\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"unit 1\"}},\n\
+{\"name\":\"task@0x140\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":1,\"dur\":5,\"args\":{\"order\":1,\"entry\":320,\"end\":\"squash:control\"}},\n\
+{\"name\":\"squash (control) x1\",\"cat\":\"squash\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":999,\"ts\":6},\n\
+{\"name\":\"task@0x100\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0,\"dur\":9,\"args\":{\"order\":0,\"entry\":256,\"end\":\"retire\"}}\n\
+]}\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_closes_open_spans() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.event(&TraceEvent::TaskAssign {
+            cycle: 2,
+            order: 0,
+            unit: 0,
+            entry: 0x100,
+            by_prediction: false,
+        });
+        sink.finish();
+        sink.finish();
+        let (buf, err) = sink.into_inner();
+        assert!(err.is_none());
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"end\":\"unfinished\""));
+        assert_eq!(text.matches("]}").count(), 1);
+        assert!(text.ends_with("\n]}\n"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Power-of-two bucketed histograms for run metrics.
+
+use crate::json;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket 0 holds the value 0; bucket `i` (for `i >= 1`) holds values
+/// in `[2^(i-1), 2^i - 1]`. This keeps the histogram compact (at most
+/// 65 buckets) while resolving both short and very long tails — task
+/// lengths and inter-squash distances span several orders of magnitude
+/// across the paper's workloads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Index of the bucket holding `v`.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`.
+pub fn bucket_range(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        if self.total == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.total += 1;
+        // Saturate rather than wrap on pathological inputs; the mean is
+        // then a lower bound, which is the honest failure mode.
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Count in bucket `i` (0 beyond the populated range).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Populated buckets as `(lo, hi, count)`, skipping empty ones.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let (lo, hi) = bucket_range(i);
+            (lo, hi, c)
+        })
+    }
+
+    /// JSON object: `{"count":..,"sum":..,"mean":..,"min":..,"max":..,
+    /// "buckets":[{"lo":..,"hi":..,"count":..},..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"count\":");
+        out.push_str(&self.total.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&self.sum.to_string());
+        out.push_str(",\"mean\":");
+        match self.mean() {
+            Some(m) => out.push_str(&json::number(m)),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"min\":");
+        match self.min() {
+            Some(v) => out.push_str(&v.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"max\":");
+        match self.max() {
+            Some(v) => out.push_str(&v.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"buckets\":[");
+        for (i, (lo, hi, c)) in self.buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{c}}}"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Every bucket's range round-trips through bucket_of.
+        for i in 0..=64 {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(bucket_of(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 3, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 13);
+        assert_eq!(h.mean(), Some(2.6));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(8));
+        assert_eq!(h.bucket_count(0), 1); // {0}
+        assert_eq!(h.bucket_count(1), 2); // {1,1}
+        assert_eq!(h.bucket_count(2), 1); // {3}
+        assert_eq!(h.bucket_count(3), 0);
+        assert_eq!(h.bucket_count(4), 1); // {8}
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 0, 1), (1, 1, 2), (2, 3, 1), (8, 15, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_json() {
+        let h = Histogram::new();
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":0,\"sum\":0,\"mean\":null,\"min\":null,\"max\":null,\"buckets\":[]}"
+        );
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_buckets() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 63);
+        assert_eq!(h.bucket_count(64), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,68 @@
+//! Hand-rolled JSON output helpers (the workspace has no serde).
+//!
+//! Everything this crate emits is machine-generated with a fixed field
+//! order, so byte-for-byte determinism across identical runs comes for
+//! free — a property the determinism tests rely on.
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON string literal of `s`.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str(&mut out, s);
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become `null`,
+/// which JSON cannot represent otherwise).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` gives Rust's shortest round-trip form; force a fraction so
+        // the token is unambiguously a float for typed readers.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(string("\u{1}"), r#""\u0001""#);
+        assert_eq!(string("plain"), r#""plain""#);
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(2.0), "2.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

@@ -13,10 +13,13 @@ use std::time::Instant;
 fn main() {
     for w in suite(Scale::Full) {
         let t = Instant::now();
-        let s = w.run_scalar(SimConfig::scalar()).unwrap_or_else(|e| panic!("{} scalar: {e}", w.name));
+        let s =
+            w.run_scalar(SimConfig::scalar()).unwrap_or_else(|e| panic!("{} scalar: {e}", w.name));
         let ts = t.elapsed();
         let t = Instant::now();
-        let m = w.run_multiscalar(SimConfig::multiscalar(8)).unwrap_or_else(|e| panic!("{} ms: {e}", w.name));
+        let m = w
+            .run_multiscalar(SimConfig::multiscalar(8))
+            .unwrap_or_else(|e| panic!("{} ms: {e}", w.name));
         let tm = t.elapsed();
         println!(
             "{:10} scalar {:>9} cyc IPC {:.2} ({:>7.2?}) | ms8 {:>9} cyc ({:>7.2?}) speedup {:5.2} pred {:5.1}% sq {}c+{}m",

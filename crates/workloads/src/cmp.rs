@@ -23,12 +23,8 @@ pub fn workload(scale: Scale) -> Workload {
     let diff_at = n * 15 / 16;
     b[diff_at] ^= 0x40;
 
-    let first_diff = a
-        .iter()
-        .zip(&b)
-        .position(|(x, y)| x != y)
-        .map(|i| i as u32)
-        .unwrap_or(n as u32);
+    let first_diff =
+        a.iter().zip(&b).position(|(x, y)| x != y).map(|i| i as u32).unwrap_or(n as u32);
 
     let source = format!(
         r#"

@@ -28,19 +28,13 @@ struct Ref {
 
 impl Ref {
     fn new() -> Ref {
-        Ref {
-            tbl: vec![(0, 0); TBL_ENTRIES as usize],
-            ent: 0,
-            next_code: 256,
-            out: Vec::new(),
-        }
+        Ref { tbl: vec![(0, 0); TBL_ENTRIES as usize], ent: 0, next_code: 256, out: Vec::new() }
     }
 
     fn step(&mut self, c: u8) {
         let c = c as u32;
         let fcode = (self.ent << 9) | c | 0x0100_0000;
-        let mut h =
-            ((self.ent << 2) ^ (self.ent >> 7) ^ (c << 6)) & (TBL_ENTRIES - 1);
+        let mut h = ((self.ent << 2) ^ (self.ent >> 7) ^ (c << 6)) & (TBL_ENTRIES - 1);
         loop {
             let (e, code) = self.tbl[h as usize];
             if e == fcode {
@@ -66,11 +60,7 @@ pub fn workload(scale: Scale) -> Workload {
     // table warms up and most steps hit (like compressing text).
     let mut r = rng(0xc0de);
     let phrases: Vec<Vec<u8>> = (0..8)
-        .map(|_| {
-            (0..r.gen_range(6..14))
-                .map(|_| b'a' + r.gen_range(0..6u8))
-                .collect()
-        })
+        .map(|_| (0..r.gen_range(6..14)).map(|_| b'a' + r.gen_range(0..6u8)).collect())
         .collect();
     let mut input = Vec::with_capacity(n);
     while input.len() < n {

@@ -170,9 +170,7 @@ mod tests {
     #[test]
     fn memory_counter_chains_cause_violations_or_forwarding() {
         let w = workload(Scale::Test);
-        let m = w
-            .run_multiscalar(multiscalar::SimConfig::multiscalar(8))
-            .unwrap();
+        let m = w.run_multiscalar(multiscalar::SimConfig::multiscalar(8)).unwrap();
         // The shared counters must exercise the ARB's speculative paths.
         assert!(m.arb.load_forwards + m.memory_squashes > 0);
     }

@@ -164,9 +164,7 @@ mod tests {
     #[test]
     fn control_squashes_dominate() {
         let w = workload(Scale::Test);
-        let m = w
-            .run_multiscalar(multiscalar::SimConfig::multiscalar(4))
-            .unwrap();
+        let m = w.run_multiscalar(multiscalar::SimConfig::multiscalar(4)).unwrap();
         assert!(m.control_squashes > 0, "expected task mispredictions");
     }
 }

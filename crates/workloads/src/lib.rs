@@ -123,10 +123,9 @@ impl fmt::Display for WorkloadError {
         match self {
             WorkloadError::Asm(e) => write!(f, "assembly failed: {e}"),
             WorkloadError::Sim(e) => write!(f, "simulation failed: {e}"),
-            WorkloadError::Mismatch { name, what, expected, found } => write!(
-                f,
-                "{name}: {what}: expected {expected:02x?}, found {found:02x?}"
-            ),
+            WorkloadError::Mismatch { name, what, expected, found } => {
+                write!(f, "{name}: {what}: expected {expected:02x?}, found {found:02x?}")
+            }
         }
     }
 }
@@ -197,6 +196,24 @@ impl Workload {
         self.check_memory(p.memory(), &prog)?;
         Ok(stats)
     }
+
+    /// Like [`Workload::run_multiscalar`], but reports every
+    /// [`multiscalar::trace::TraceEvent`] to `sink` and returns the
+    /// finished sink alongside the stats.
+    ///
+    /// # Errors
+    /// Propagates assembly/simulation errors and validation mismatches.
+    pub fn run_multiscalar_with_sink<S: multiscalar::trace::TraceSink>(
+        &self,
+        cfg: SimConfig,
+        sink: S,
+    ) -> Result<(RunStats, S), WorkloadError> {
+        let prog = self.assemble(AsmMode::Multiscalar)?;
+        let mut p = Processor::with_sink(prog.clone(), cfg, sink)?;
+        let stats = p.run()?;
+        self.check_memory(p.memory(), &prog)?;
+        Ok((stats, p.into_sink()))
+    }
 }
 
 /// The full benchmark ensemble, in the paper's table order.
@@ -217,9 +234,7 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
 
 /// Looks up one workload by its paper row name (case-insensitive).
 pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
-    suite(scale)
-        .into_iter()
-        .find(|w| w.name.eq_ignore_ascii_case(name))
+    suite(scale).into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -230,9 +245,8 @@ pub(crate) mod testutil {
     /// 4-unit multiscalar processor, validating both and the basic
     /// instruction-count relation (Table 2: multiscalar >= scalar).
     pub fn check_workload(w: &Workload) {
-        let s = w
-            .run_scalar(SimConfig::scalar())
-            .unwrap_or_else(|e| panic!("{} scalar: {e}", w.name));
+        let s =
+            w.run_scalar(SimConfig::scalar()).unwrap_or_else(|e| panic!("{} scalar: {e}", w.name));
         let m = w
             .run_multiscalar(SimConfig::multiscalar(4))
             .unwrap_or_else(|e| panic!("{} multiscalar: {e}", w.name));

@@ -22,10 +22,7 @@ const NSYMS: usize = 16;
 fn generate_buffer(scale: Scale) -> Vec<u32> {
     let reps = scale.pick(8, 450);
     let symbols: Vec<u32> = (0..NSYMS as u32).map(|i| 1000 + i * 7).collect();
-    let mut buf: Vec<u32> = symbols
-        .iter()
-        .flat_map(|&s| std::iter::repeat_n(s, reps))
-        .collect();
+    let mut buf: Vec<u32> = symbols.iter().flat_map(|&s| std::iter::repeat_n(s, reps)).collect();
     buf.shuffle(&mut rng(0x5ea2c4));
     buf
 }

@@ -82,9 +82,8 @@ XDONE:
     let addr = |i: usize| cells + (i * 8) as u32;
     let index = |a: u32| ((a - cells) / 8) as usize;
 
-    let mut next: Vec<u32> = (0..ncells)
-        .map(|i| if i + 1 < ncells { addr(i + 1) } else { 0 })
-        .collect();
+    let mut next: Vec<u32> =
+        (0..ncells).map(|i| if i + 1 < ncells { addr(i + 1) } else { 0 }).collect();
     let mut val: Vec<u32> = vec![0; ncells];
     let mut freehd = addr(0);
     for i in 1..=iters as u32 {
@@ -104,12 +103,7 @@ XDONE:
     ];
     for i in 0..ncells {
         checks.push(Check::word("cells", (i * 8) as u32, next[i], &format!("cell {i} next")));
-        checks.push(Check::word(
-            "cells",
-            (i * 8 + 4) as u32,
-            val[i],
-            &format!("cell {i} val"),
-        ));
+        checks.push(Check::word("cells", (i * 8 + 4) as u32, val[i], &format!("cell {i} val")));
     }
 
     Workload {
@@ -136,13 +130,8 @@ mod tests {
     fn freelist_chain_serializes_units() {
         let w = workload(Scale::Test);
         let s = w.run_scalar(multiscalar::SimConfig::scalar()).unwrap();
-        let m = w
-            .run_multiscalar(multiscalar::SimConfig::multiscalar(8))
-            .unwrap();
+        let m = w.run_multiscalar(multiscalar::SimConfig::multiscalar(8)).unwrap();
         let speedup = s.cycles as f64 / m.cycles as f64;
-        assert!(
-            speedup < 2.0,
-            "xlisp-like chain should not scale, got {speedup:.2}"
-        );
+        assert!(speedup < 2.0, "xlisp-like chain should not scale, got {speedup:.2}");
     }
 }

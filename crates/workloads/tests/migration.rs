@@ -26,8 +26,7 @@ fn migrated_binaries_run_identically() {
     for name in ["Example", "Wc", "Gcc"] {
         let w = ms_workloads::by_name(name, Scale::Test).unwrap();
         let original = w.assemble(AsmMode::Multiscalar).unwrap();
-        let migrated =
-            assemble(&program_to_source(&original), AsmMode::Multiscalar).unwrap();
+        let migrated = assemble(&program_to_source(&original), AsmMode::Multiscalar).unwrap();
         let mut p1 = Processor::new(original, SimConfig::multiscalar(4)).unwrap();
         let s1 = p1.run().unwrap();
         let mut p2 = Processor::new(migrated, SimConfig::multiscalar(4)).unwrap();

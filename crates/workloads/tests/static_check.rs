@@ -11,16 +11,9 @@ fn all_workload_annotations_pass_the_static_checker() {
     for w in suite(Scale::Test) {
         let prog = w.assemble(AsmMode::Multiscalar).expect("assembles");
         let report = check_program(&prog);
-        let errors: Vec<String> = report
-            .of_severity(Severity::Error)
-            .map(|d| d.to_string())
-            .collect();
-        assert!(
-            errors.is_empty(),
-            "{}: static annotation errors:\n{}",
-            w.name,
-            errors.join("\n")
-        );
+        let errors: Vec<String> =
+            report.of_severity(Severity::Error).map(|d| d.to_string()).collect();
+        assert!(errors.is_empty(), "{}: static annotation errors:\n{}", w.name, errors.join("\n"));
     }
 }
 
@@ -29,12 +22,7 @@ fn checker_discovers_every_task() {
     for w in suite(Scale::Test) {
         let prog = w.assemble(AsmMode::Multiscalar).expect("assembles");
         let report = check_program(&prog);
-        assert_eq!(
-            report.tasks.len(),
-            prog.tasks.len(),
-            "{}: not all tasks analysed",
-            w.name
-        );
+        assert_eq!(report.tasks.len(), prog.tasks.len(), "{}: not all tasks analysed", w.name);
         for t in &report.tasks {
             assert!(t.reachable > 0, "{}: empty task {:#x}", w.name, t.entry);
             assert!(!t.exits.is_empty(), "{}: no exits for task {:#x}", w.name, t.entry);

@@ -62,11 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("task walk (retirement order):");
     let name_of = |entry: u32| {
-        prog.symbols
-            .iter()
-            .find(|(_, &a)| a == entry)
-            .map(|(n, _)| n.as_str())
-            .unwrap_or("?")
+        prog.symbols.iter().find(|(_, &a)| a == entry).map(|(n, _)| n.as_str()).unwrap_or("?")
     };
     for (i, r) in p.retirement_log().iter().enumerate() {
         println!(

@@ -7,19 +7,33 @@
 //! ultimately squashed), no-computation (inter-task wait, intra-task
 //! wait, waiting for retirement, ARB stalls) and idle.
 //!
+//! Also emits a Chrome `trace_event` timeline per benchmark (open in
+//! Perfetto or `chrome://tracing`) showing each unit's task spans and the
+//! squash waves behind the "non-useful" bucket.
+//!
 //! ```text
 //! cargo run --release --example cycle_breakdown
 //! ```
 
 use ms_workloads::{by_name, Scale};
+use multiscalar::trace::ChromeTraceSink;
 use multiscalar::SimConfig;
+use std::fs::File;
+use std::io::BufWriter;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["Cmp", "Compress", "Gcc"] {
         let w = by_name(name, Scale::Test).expect("workload");
-        let stats = w.run_multiscalar(SimConfig::multiscalar(8))?;
+        let trace_path = format!("cycle_breakdown_{}.trace.json", name.to_ascii_lowercase());
+        let sink = ChromeTraceSink::new(BufWriter::new(File::create(&trace_path)?));
+        let (stats, sink) = w.run_multiscalar_with_sink(SimConfig::multiscalar(8), sink)?;
+        let (_, err) = sink.into_inner();
+        if let Some(e) = err {
+            return Err(e.into());
+        }
         println!("=== {name} (8 units, 1-way, in-order) ===");
-        println!("{}\n", stats);
+        println!("{}", stats);
+        println!("timeline: {trace_path} (load in Perfetto)\n");
     }
     println!(
         "cmp keeps its units busy; compress stalls successors on the `ent` \

@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(original.text, migrated.text, "text must be preserved");
     assert_eq!(original.tasks, migrated.tasks, "descriptors must be preserved");
     assert_eq!(original.data, migrated.data, "data must be preserved");
-    println!(
-        "regenerated {} lines of source; reassembly is bit-identical",
-        source.lines().count()
-    );
+    println!("regenerated {} lines of source; reassembly is bit-identical", source.lines().count());
 
     // Both binaries behave identically on the same machine.
     let mut p1 = Processor::new(original, SimConfig::multiscalar(4))?;

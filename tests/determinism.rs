@@ -58,10 +58,8 @@ fn issue_width_and_order_never_change_results() {
     for width in [1usize, 2] {
         for ooo in [false, true] {
             for units in [2usize, 4, 8] {
-                w.run_multiscalar(
-                    SimConfig::multiscalar(units).issue(width).out_of_order(ooo),
-                )
-                .unwrap_or_else(|e| panic!("w{width} ooo{ooo} u{units}: {e}"));
+                w.run_multiscalar(SimConfig::multiscalar(units).issue(width).out_of_order(ooo))
+                    .unwrap_or_else(|e| panic!("w{width} ooo{ooo} u{units}: {e}"));
             }
         }
     }
@@ -94,8 +92,5 @@ fn retirement_log_is_sequential_and_complete() {
     let log = p.retirement_log();
     assert_eq!(log.len() as u64, st.tasks_retired);
     assert!(log.windows(2).all(|w| w[0].cycle <= w[1].cycle));
-    assert_eq!(
-        log.iter().map(|r| r.instructions).sum::<u64>(),
-        st.instructions
-    );
+    assert_eq!(log.iter().map(|r| r.instructions).sum::<u64>(), st.instructions);
 }

@@ -22,12 +22,7 @@ fn any_reg() -> impl Strategy<Value = Reg> {
 }
 
 fn any_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![
-        Just(MemWidth::B),
-        Just(MemWidth::H),
-        Just(MemWidth::W),
-        Just(MemWidth::D)
-    ]
+    prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W), Just(MemWidth::D)]
 }
 
 fn any_op() -> impl Strategy<Value = Op> {
@@ -52,8 +47,12 @@ fn any_op() -> impl Strategy<Value = Op> {
                 off
             }
         ),
-        (any_width(), r(), r(), -2048i32..=2047)
-            .prop_map(|(width, rt, base, off)| Op::Store { width, rt, base, off }),
+        (any_width(), r(), r(), -2048i32..=2047).prop_map(|(width, rt, base, off)| Op::Store {
+            width,
+            rt,
+            base,
+            off
+        }),
         (r(), r(), -2048i32..=2047).prop_map(|(rs, rt, off)| Op::Beq { rs, rt, off }),
         (r(), -2048i32..=2047).prop_map(|(rs, off)| Op::Bgez { rs, off }),
         (0u32..(1 << 22)).prop_map(|w| Op::J { target: w * 4 }),
@@ -73,11 +72,8 @@ fn any_op() -> impl Strategy<Value = Op> {
             fs,
             ft
         }),
-        proptest::collection::vec(
-            (1usize..64).prop_map(|i| Reg::from_index(i).unwrap()),
-            1..=3
-        )
-        .prop_map(|regs| Op::Release { regs: RegList::from_slice(&regs) }),
+        proptest::collection::vec((1usize..64).prop_map(|i| Reg::from_index(i).unwrap()), 1..=3)
+            .prop_map(|regs| Op::Release { regs: RegList::from_slice(&regs) }),
         Just(Op::Halt),
         Just(Op::Nop),
     ]
@@ -150,8 +146,7 @@ struct Oracle {
 impl Oracle {
     fn store(&mut self, stage: usize, addr: u32, size: u32, value: u64) {
         for i in 0..size {
-            self.writes
-                .insert((stage, addr + i), (value >> (8 * i)) as u8);
+            self.writes.insert((stage, addr + i), (value >> (8 * i)) as u8);
         }
     }
 

@@ -9,8 +9,8 @@ use multiscalar::{Processor, ScalarProcessor, SimConfig};
 fn run_both(src: &str, units: usize) -> (Processor, ScalarProcessor) {
     let ms = assemble(src, AsmMode::Multiscalar).expect("ms assembles");
     let sc = assemble(src, AsmMode::Scalar).expect("scalar assembles");
-    let mut p = Processor::new(ms, SimConfig::multiscalar(units).max_cycles(20_000_000))
-        .expect("build ms");
+    let mut p =
+        Processor::new(ms, SimConfig::multiscalar(units).max_cycles(20_000_000)).expect("build ms");
     p.run().expect("ms run");
     let mut s =
         ScalarProcessor::new(sc, SimConfig::scalar().max_cycles(20_000_000)).expect("build sc");
@@ -143,10 +143,7 @@ FIN:
         }
     }
     assert!(stats.arb.full_events > 0, "expected ARB capacity pressure");
-    assert!(
-        stats.breakdown.no_comp_arb > 0,
-        "expected ARB stall cycles in the breakdown"
-    );
+    assert!(stats.breakdown.no_comp_arb > 0, "expected ARB stall cycles in the breakdown");
 }
 
 #[test]

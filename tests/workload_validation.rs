@@ -12,24 +12,21 @@ use multiscalar::SimConfig;
 #[test]
 fn scalar_baseline_validates_all_workloads() {
     for w in suite(Scale::Test) {
-        w.run_scalar(SimConfig::scalar())
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        w.run_scalar(SimConfig::scalar()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     }
 }
 
 #[test]
 fn four_unit_multiscalar_validates_all_workloads() {
     for w in suite(Scale::Test) {
-        w.run_multiscalar(SimConfig::multiscalar(4))
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        w.run_multiscalar(SimConfig::multiscalar(4)).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     }
 }
 
 #[test]
 fn eight_unit_multiscalar_validates_all_workloads() {
     for w in suite(Scale::Test) {
-        w.run_multiscalar(SimConfig::multiscalar(8))
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        w.run_multiscalar(SimConfig::multiscalar(8)).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     }
 }
 

@@ -117,8 +117,12 @@ impl Standard for f64 {
 /// Types samplable uniformly from a bounded range (`Rng::gen_range`).
 pub trait SampleUniform: Sized {
     /// Uniform in `[low, high)` (or `[low, high]` when `inclusive`).
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
-        -> Self;
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -205,10 +209,7 @@ pub mod rngs {
 
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
-            let result = self.s[0]
-                .wrapping_add(self.s[3])
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
