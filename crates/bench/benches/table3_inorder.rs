@@ -7,14 +7,18 @@ use ms_bench::{evaluate_workload, render_table34};
 use ms_workloads::{by_name, suite, Scale};
 
 fn bench(c: &mut Criterion) {
-    let rows: Vec<_> =
-        suite(Scale::Test).iter().map(|w| evaluate_workload(w, false, &[1], &[4, 8])).collect();
+    let rows: Vec<_> = suite(Scale::Test)
+        .iter()
+        .map(|w| evaluate_workload(w, false, &[1], &[4, 8]).expect("design point"))
+        .collect();
     println!("{}", render_table34(&rows, false));
     let mut g = c.benchmark_group("table3_inorder");
     g.sample_size(10);
     for name in ["Cmp", "Example", "Xlisp"] {
         let w = by_name(name, Scale::Test).expect("workload");
-        g.bench_function(name, |b| b.iter(|| evaluate_workload(&w, false, &[1], &[8])));
+        g.bench_function(name, |b| {
+            b.iter(|| evaluate_workload(&w, false, &[1], &[8]).expect("design point"))
+        });
     }
     g.finish();
 }

@@ -1,0 +1,225 @@
+//! Experiment-sweep runner over the `ms-sweep` engine.
+//!
+//! Expands workload × configuration axes into independent simulation
+//! jobs, executes them on a worker pool with an on-disk result cache,
+//! and writes deterministic artifacts:
+//!
+//! ```text
+//! cargo run --release -p ms-bench --bin mssweep -- \
+//!     [--workloads wc,cmp,...] [--scale test|full] [--widths 1,2] \
+//!     [--units 4,8] [--order inorder|ooo|both] [--jobs N] \
+//!     [--out-dir DIR] [--cache-dir DIR] [--no-cache] [--metrics] \
+//!     [--quiet] [--list]
+//! ```
+//!
+//! Defaults reproduce the paper's full Table 3 + Table 4 design space.
+//! Under `--out-dir` (default `mssweep-out`) it writes:
+//!
+//! * `results.json` — every design point with its full `RunStats`,
+//! * `results.csv`  — the flat sweep matrix,
+//! * `BENCH_tables.json` — Table 3/4 rows (speedups, prediction
+//!   accuracy) in the same format as `tables --json`,
+//! * `metrics/` (with `--metrics`) — one `ms_trace::MetricsReport` JSON
+//!   per executed multiscalar job.
+//!
+//! All artifacts are byte-identical regardless of `--jobs` and of
+//! whether points came from the cache. The cache lives in
+//! `.ms-sweep-cache` unless `--cache-dir` or `$MS_SWEEP_CACHE` says
+//! otherwise; a warm re-run of an identical sweep executes zero
+//! simulation jobs. Exits non-zero if any design point fails (the
+//! failure is reported with its job identity; other points still
+//! complete and appear in the artifacts).
+
+use ms_bench::{render_table34, rows_from_sweep, tables_to_json};
+use ms_sweep::{artifacts, run_sweep, SweepCache, SweepOptions, SweepSpec};
+use ms_workloads::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    spec: SweepSpec,
+    opts: SweepOptions,
+    out_dir: PathBuf,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mssweep [--workloads a,b,c] [--scale test|full] [--widths 1,2] \
+         [--units 4,8] [--order inorder|ooo|both] [--jobs N] [--out-dir DIR] \
+         [--cache-dir DIR] [--no-cache] [--metrics] [--quiet]\n       mssweep --list"
+    );
+    std::process::exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, v: &str) -> Vec<T> {
+    let parsed: Vec<T> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+    if parsed.is_empty() || parsed.len() != v.split(',').count() {
+        eprintln!("{flag}: cannot parse `{v}` as a comma-separated list");
+        usage();
+    }
+    parsed
+}
+
+fn parse_args() -> Args {
+    let mut spec = SweepSpec::tables34(Scale::Full);
+    let mut jobs = 0usize;
+    let mut out_dir = PathBuf::from("mssweep-out");
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut metrics = false;
+    let mut quiet = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--list" => {
+                for w in ms_workloads::suite(Scale::Test) {
+                    println!("{:<12} {}", w.name, w.description);
+                }
+                std::process::exit(0);
+            }
+            "--workloads" => {
+                spec.workloads =
+                    value("--workloads").split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--scale" => {
+                spec.scale = Scale::parse(&value("--scale")).unwrap_or_else(|| {
+                    eprintln!("--scale must be `test` or `full`");
+                    usage()
+                });
+            }
+            "--widths" => spec.widths = parse_list("--widths", &value("--widths")),
+            "--units" => spec.unit_counts = parse_list("--units", &value("--units")),
+            "--order" => {
+                spec.orders = match value("--order").as_str() {
+                    "inorder" => vec![false],
+                    "ooo" => vec![true],
+                    "both" => vec![false, true],
+                    other => {
+                        eprintln!("--order must be inorder|ooo|both, got `{other}`");
+                        usage();
+                    }
+                };
+            }
+            "--jobs" => {
+                jobs = value("--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs needs a non-negative integer (0 = all cores)");
+                    usage()
+                });
+            }
+            "--out-dir" => out_dir = PathBuf::from(value("--out-dir")),
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")),
+            "--no-cache" => no_cache = true,
+            "--metrics" => metrics = true,
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let cache = if no_cache {
+        SweepCache::disabled()
+    } else {
+        match cache_dir {
+            Some(dir) => SweepCache::at(dir),
+            None => SweepCache::from_env(),
+        }
+    };
+    let opts = SweepOptions {
+        jobs,
+        cache,
+        progress: !quiet,
+        metrics_dir: metrics.then(|| out_dir.join("metrics")),
+    };
+    Args { spec, opts, out_dir, quiet }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("cannot create {}: {e}", args.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let njobs = args.spec.expand().len();
+    if !args.quiet {
+        let workers = args.opts.worker_count(njobs);
+        let cache_note = match args.opts.cache.dir() {
+            Some(d) => format!("cache {}", d.display()),
+            None => "cache disabled".to_string(),
+        };
+        eprintln!("mssweep: {njobs} jobs on {workers} workers ({cache_note})");
+    }
+
+    let started = Instant::now();
+    let report = run_sweep(&args.spec, &args.opts);
+    let elapsed = started.elapsed();
+
+    let mut artifacts_written = Vec::new();
+    let mut write = |name: &str, contents: String| -> bool {
+        let path = args.out_dir.join(name);
+        match std::fs::write(&path, contents) {
+            Ok(()) => {
+                artifacts_written.push(path.display().to_string());
+                true
+            }
+            Err(e) => {
+                eprintln!("writing {}: {e}", path.display());
+                false
+            }
+        }
+    };
+
+    let mut io_ok = write("results.json", artifacts::results_json(&report));
+    io_ok &= write("results.csv", artifacts::results_csv(&report));
+
+    // Assemble Table 3/4 rows for whichever orders the sweep covered and
+    // whose points all succeeded; a partial sweep still yields the rest.
+    let mut table_rows = Vec::new();
+    if report.failures().next().is_none() && args.spec.include_scalar {
+        for &ooo in &args.spec.orders {
+            if let Ok(rows) = rows_from_sweep(&report, ooo) {
+                table_rows.push((ooo, rows));
+            }
+        }
+    }
+    if !table_rows.is_empty() {
+        let find =
+            |ooo: bool| table_rows.iter().find(|(o, _)| *o == ooo).map(|(_, rows)| rows.as_slice());
+        io_ok &= write("BENCH_tables.json", tables_to_json(find(false), find(true)));
+        for (ooo, rows) in &table_rows {
+            println!("{}", render_table34(rows, *ooo));
+        }
+    }
+
+    let failed = report.failures().count();
+    println!(
+        "sweep: {} jobs, {} executed, {} cached, {failed} failed in {:.2}s",
+        report.total(),
+        report.executed,
+        report.cache_hits,
+        elapsed.as_secs_f64(),
+    );
+    for f in report.failures() {
+        eprintln!("FAILED {f}");
+    }
+    for path in &artifacts_written {
+        println!("wrote {path}");
+    }
+
+    if failed > 0 || !io_ok {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

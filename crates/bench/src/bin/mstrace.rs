@@ -103,76 +103,7 @@ fn parse_args() -> Args {
     Args { workload, units, scale, out_dir, jsonl }
 }
 
-/// `RunStats` as a JSON object (hand-rolled; field order fixed).
-fn stats_to_json(s: &RunStats) -> String {
-    fn f(v: f64) -> String {
-        if v.is_finite() {
-            let s = format!("{v}");
-            if s.contains('.') || s.contains('e') {
-                s
-            } else {
-                format!("{s}.0")
-            }
-        } else {
-            "null".into()
-        }
-    }
-    let b = &s.breakdown;
-    format!(
-        concat!(
-            "{{\"cycles\":{},\"instructions\":{},\"ipc\":{},",
-            "\"squashed_instructions\":{},\"tasks_retired\":{},",
-            "\"tasks_squashed\":{},\"control_squashes\":{},",
-            "\"memory_squashes\":{},\"arb_squashes\":{},",
-            "\"predictions\":{},\"correct_predictions\":{},",
-            "\"prediction_accuracy\":{},",
-            "\"breakdown\":{{\"useful\":{},\"non_useful\":{},",
-            "\"no_comp_inter_task\":{},\"no_comp_intra_task\":{},",
-            "\"no_comp_wait_retire\":{},\"no_comp_arb\":{},\"idle\":{}}},",
-            "\"arb\":{{\"loads\":{},\"stores\":{},\"load_forwards\":{},",
-            "\"violations\":{},\"full_events\":{},\"peak_bank_occupancy\":{}}},",
-            "\"dcache\":{{\"accesses\":{},\"misses\":{}}},",
-            "\"icache\":{{\"accesses\":{},\"misses\":{}}},",
-            "\"bus\":{{\"transactions\":{},\"busy_cycles\":{},",
-            "\"contention_cycles\":{}}},",
-            "\"descriptor_cache\":{{\"accesses\":{},\"misses\":{}}}}}"
-        ),
-        s.cycles,
-        s.instructions,
-        f(s.ipc()),
-        s.squashed_instructions,
-        s.tasks_retired,
-        s.tasks_squashed,
-        s.control_squashes,
-        s.memory_squashes,
-        s.arb_squashes,
-        s.predictions,
-        s.correct_predictions,
-        f(s.prediction_accuracy()),
-        b.useful,
-        b.non_useful,
-        b.no_comp_inter_task,
-        b.no_comp_intra_task,
-        b.no_comp_wait_retire,
-        b.no_comp_arb,
-        b.idle,
-        s.arb.loads,
-        s.arb.stores,
-        s.arb.load_forwards,
-        s.arb.violations,
-        s.arb.full_events,
-        s.arb.peak_bank_occupancy,
-        s.dcache.accesses,
-        s.dcache.misses,
-        s.icache.accesses,
-        s.icache.misses,
-        s.bus.transactions,
-        s.bus.busy_cycles,
-        s.bus.contention_cycles,
-        s.descriptor_cache.0,
-        s.descriptor_cache.1,
-    )
-}
+use ms_sweep::statsio::stats_to_json;
 
 /// Cross-checks event-derived counters against the simulator's own
 /// aggregates. Any disagreement means an instrumentation call-site is

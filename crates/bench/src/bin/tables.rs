@@ -1,21 +1,95 @@
 //! Regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! cargo run --release -p ms-bench --bin tables -- [all|table1|table2|table3|table4|cycles] [--test-scale]
+//! cargo run --release -p ms-bench --bin tables -- \
+//!     [all|table1|table2|table3|table4|cycles|ablation|scaling] \
+//!     [--test-scale] [--jobs N] [--json PATH] [--cache-dir DIR] [--no-cache]
 //! ```
+//!
+//! Table 3/4 regeneration runs on the `ms-sweep` engine: design points
+//! execute in parallel (`--jobs`, default = available cores; `--jobs 1`
+//! is the exact serial path) and are memoized in the on-disk result
+//! cache (default `.ms-sweep-cache`, overridable with `--cache-dir` or
+//! `$MS_SWEEP_CACHE`; `--no-cache` disables). Output is byte-identical
+//! across worker counts. `--json PATH` additionally writes the computed
+//! tables as machine-readable JSON (the `BENCH_tables.json` format).
 
 use ms_bench::{
     ablation, evaluate_suite, render_ablation, render_cycles, render_scaling, render_table2,
-    render_table34, table1, table2,
+    render_table34, table1, table2, tables_to_json, EvalRow,
 };
+use ms_sweep::{JobFailure, SweepCache, SweepOptions};
 use ms_workloads::Scale;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--test-scale") { Scale::Test } else { Scale::Full };
-    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+fn usage() -> ! {
+    eprintln!(
+        "usage: tables [all|table1|table2|table3|table4|cycles|ablation|scaling] \
+         [--test-scale] [--jobs N] [--json PATH] [--cache-dir DIR] [--no-cache]"
+    );
+    std::process::exit(2);
+}
 
+fn main() {
+    let mut what: Option<String> = None;
+    let mut scale = Scale::Full;
+    let mut jobs = 0usize;
+    let mut json_path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--test-scale" => scale = Scale::Test,
+            "--no-cache" => no_cache = true,
+            "--jobs" => {
+                jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a non-negative integer (0 = all cores)");
+                    usage()
+                });
+            }
+            "--json" => {
+                json_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    usage()
+                }));
+            }
+            "--cache-dir" => {
+                cache_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--cache-dir needs a path");
+                    usage()
+                }));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+            other => {
+                if what.replace(other.to_string()).is_some() {
+                    eprintln!("more than one selector named");
+                    usage();
+                }
+            }
+        }
+    }
+    let what = what.unwrap_or_else(|| "all".to_string());
     let run = |name: &str| what == "all" || what == name;
+
+    let cache = if no_cache {
+        SweepCache::disabled()
+    } else {
+        match cache_dir {
+            Some(dir) => SweepCache::at(dir),
+            None => SweepCache::from_env(),
+        }
+    };
+    let opts = SweepOptions { jobs, cache, ..SweepOptions::default() };
+    let sweep_or_die = |ooo: bool| -> Vec<EvalRow> {
+        evaluate_suite(ooo, scale, &opts).unwrap_or_else(|f: JobFailure| {
+            eprintln!("design point failed: {f}");
+            std::process::exit(1);
+        })
+    };
 
     if run("table1") || run("config") {
         println!("{}", table1());
@@ -23,13 +97,17 @@ fn main() {
     if run("table2") {
         println!("{}", render_table2(&table2(scale)));
     }
+    let mut rows3: Option<Vec<EvalRow>> = None;
+    let mut rows4: Option<Vec<EvalRow>> = None;
     if run("table3") {
-        let rows = evaluate_suite(false, scale);
+        let rows = sweep_or_die(false);
         println!("{}", render_table34(&rows, false));
+        rows3 = Some(rows);
     }
     if run("table4") {
-        let rows = evaluate_suite(true, scale);
+        let rows = sweep_or_die(true);
         println!("{}", render_table34(&rows, true));
+        rows4 = Some(rows);
     }
     if run("cycles") {
         println!("{}", render_cycles(scale, 8));
@@ -43,10 +121,24 @@ fn main() {
             println!("{}", render_ablation(name, &ablation(&w)));
         }
     }
+    if let Some(path) = json_path {
+        if rows3.is_none() && rows4.is_none() {
+            eprintln!("--json requires table3 and/or table4 (selector `{what}` computes neither)");
+            std::process::exit(2);
+        }
+        let json = tables_to_json(rows3.as_deref(), rows4.as_deref());
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
     if !["all", "table1", "config", "table2", "table3", "table4", "cycles", "ablation", "scaling"]
-        .contains(&what)
+        .contains(&what.as_str())
     {
-        eprintln!("unknown selector `{what}`; use all|table1|table2|table3|table4|cycles|ablation|scaling");
+        eprintln!(
+            "unknown selector `{what}`; use all|table1|table2|table3|table4|cycles|ablation|scaling"
+        );
         std::process::exit(2);
     }
 }

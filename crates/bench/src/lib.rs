@@ -13,13 +13,21 @@
 //!   ([`table1`]).
 //!
 //! Run `cargo run --release -p ms-bench --bin tables -- all` to print
-//! everything.
+//! everything. Table 3/4 regeneration runs on the `ms-sweep` engine —
+//! parallel across design points and memoized in an on-disk cache by
+//! default (`--jobs 1` recovers the serial path; see the `mssweep` CLI
+//! for arbitrary axis sweeps).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `JobFailure` deliberately carries the whole failed `Job` (see
+// ms-sweep); each `Result` spans an entire table sweep, so the
+// Err-variant size does not matter.
+#![allow(clippy::result_large_err)]
 
 use ms_asm::AsmMode;
-use ms_workloads::{suite, Scale, Workload};
+use ms_sweep::{run_sweep, JobFailure, JobKind, SweepOptions, SweepReport, SweepSpec};
+use ms_workloads::{suite, Scale, Workload, WorkloadError};
 use multiscalar::{RunStats, SimConfig};
 use std::fmt::Write;
 
@@ -53,33 +61,61 @@ pub struct WidthResult {
 #[derive(Clone, Debug)]
 pub struct EvalRow {
     /// Benchmark name.
-    pub name: &'static str,
+    pub name: String,
     /// Per-issue-width results.
     pub per_width: Vec<WidthResult>,
 }
 
-/// Runs the full sweep behind Table 3 (`ooo = false`) or Table 4
-/// (`ooo = true`) for one benchmark.
+/// A design point that failed, identified precisely: the workload, the
+/// machine kind, and the configuration axes are all in `job`.
+#[derive(Debug)]
+pub struct EvalError {
+    /// Which design point failed, e.g. `compress ms8 w2 ooo`.
+    pub job: String,
+    /// The underlying assembly/simulation/validation failure.
+    pub source: WorkloadError,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.job, self.source)
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Runs the sweep behind Table 3 (`ooo = false`) or Table 4
+/// (`ooo = true`) for one benchmark, serially in the calling thread.
 ///
-/// # Panics
-/// Panics if any run fails assembly, simulation, or output validation —
-/// the harness never reports numbers from an unvalidated run.
+/// # Errors
+/// Returns the first design point that fails assembly, simulation, or
+/// output validation, identified by workload and configuration — the
+/// harness never reports numbers from an unvalidated run.
 pub fn evaluate_workload(
     w: &Workload,
     ooo: bool,
     widths: &[usize],
     unit_counts: &[usize],
-) -> EvalRow {
+) -> Result<EvalRow, EvalError> {
+    let order = if ooo { "ooo" } else { "inorder" };
     let mut per_width = Vec::new();
     for &width in widths {
         let scfg = SimConfig::scalar().issue(width).out_of_order(ooo);
-        let s = w.run_scalar(scfg).unwrap_or_else(|e| panic!("{} scalar w{width}: {e}", w.name));
+        let s = w.run_scalar(scfg).map_err(|source| EvalError {
+            job: format!("{} scalar w{width} {order}", w.name),
+            source,
+        })?;
         let mut multi = Vec::new();
         for &units in unit_counts {
             let mcfg = SimConfig::multiscalar(units).issue(width).out_of_order(ooo);
-            let m = w
-                .run_multiscalar(mcfg)
-                .unwrap_or_else(|e| panic!("{} ms{units} w{width}: {e}", w.name));
+            let m = w.run_multiscalar(mcfg).map_err(|source| EvalError {
+                job: format!("{} ms{units} w{width} {order}", w.name),
+                source,
+            })?;
             multi.push(MultiResult {
                 units,
                 speedup: s.cycles as f64 / m.cycles as f64,
@@ -89,12 +125,78 @@ pub fn evaluate_workload(
         }
         per_width.push(WidthResult { width, scalar_ipc: s.ipc(), scalar_cycles: s.cycles, multi });
     }
-    EvalRow { name: w.name, per_width }
+    Ok(EvalRow { name: w.name.to_string(), per_width })
 }
 
-/// Runs the sweep for the whole suite.
-pub fn evaluate_suite(ooo: bool, scale: Scale) -> Vec<EvalRow> {
-    suite(scale).iter().map(|w| evaluate_workload(w, ooo, &[1, 2], &[4, 8])).collect()
+/// Assembles Table 3/4 rows from a sweep report (the outcomes of a
+/// [`SweepSpec`] that included scalar baselines). Rows keep the report's
+/// workload order; widths and unit counts keep their order of appearance.
+///
+/// # Errors
+/// Returns the first failed design point whose issue order matches
+/// `ooo`, with its full job identity.
+pub fn rows_from_sweep(report: &SweepReport, ooo: bool) -> Result<Vec<EvalRow>, JobFailure> {
+    if let Some(f) = report.failures().find(|f| f.job.cfg.ooo == ooo) {
+        return Err(f.clone());
+    }
+    // Scalar baselines per (workload, width).
+    let scalars: Vec<(&str, usize, &RunStats)> = report
+        .successes()
+        .filter(|o| o.job.kind == JobKind::Scalar && o.job.cfg.ooo == ooo)
+        .map(|o| (o.job.workload.as_str(), o.job.cfg.issue_width, &o.stats))
+        .collect();
+    let mut rows: Vec<EvalRow> = Vec::new();
+    for o in report.successes() {
+        if o.job.kind != JobKind::Multiscalar || o.job.cfg.ooo != ooo {
+            continue;
+        }
+        let width = o.job.cfg.issue_width;
+        let &(_, _, s) =
+            scalars.iter().find(|(w, wd, _)| *w == o.job.workload && *wd == width).unwrap_or_else(
+                || panic!("sweep is missing the scalar baseline for {} w{width}", o.job.workload),
+            );
+        let row = match rows.iter_mut().find(|r| r.name == o.job.workload) {
+            Some(r) => r,
+            None => {
+                rows.push(EvalRow { name: o.job.workload.clone(), per_width: Vec::new() });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        let wres = match row.per_width.iter_mut().find(|wr| wr.width == width) {
+            Some(wr) => wr,
+            None => {
+                row.per_width.push(WidthResult {
+                    width,
+                    scalar_ipc: s.ipc(),
+                    scalar_cycles: s.cycles,
+                    multi: Vec::new(),
+                });
+                row.per_width.last_mut().expect("just pushed")
+            }
+        };
+        wres.multi.push(MultiResult {
+            units: o.job.cfg.units,
+            speedup: s.cycles as f64 / o.stats.cycles as f64,
+            pred: o.stats.prediction_accuracy(),
+            cycles: o.stats.cycles,
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs the Table 3 (`ooo = false`) or Table 4 (`ooo = true`) sweep for
+/// the whole suite on the `ms-sweep` engine — parallel across design
+/// points and served from the result cache where possible, with row
+/// assembly independent of worker count.
+///
+/// # Errors
+/// Returns the first failed design point with its job identity.
+pub fn evaluate_suite(
+    ooo: bool,
+    scale: Scale,
+    opts: &SweepOptions,
+) -> Result<Vec<EvalRow>, JobFailure> {
+    rows_from_sweep(&run_sweep(&SweepSpec::table34(scale, ooo), opts), ooo)
 }
 
 /// Renders Table 3/4 in the paper's layout.
@@ -136,6 +238,62 @@ pub fn render_table34(rows: &[EvalRow], ooo: bool) -> String {
         }
         let _ = writeln!(out, "{}", line.trim_end_matches(" |"));
     }
+    out
+}
+
+fn rows_to_json_array(rows: &[EvalRow]) -> String {
+    use ms_trace::json;
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":{},\"widths\":[", json::string(&r.name));
+        for (j, wr) in r.per_width.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"width\":{},\"scalar_ipc\":{},\"scalar_cycles\":{},\"multi\":[",
+                wr.width,
+                json::number(wr.scalar_ipc),
+                wr.scalar_cycles
+            );
+            for (k, m) in wr.multi.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"units\":{},\"speedup\":{},\"pred\":{},\"cycles\":{}}}",
+                    m.units,
+                    json::number(m.speedup),
+                    json::number(m.pred),
+                    m.cycles
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// Machine-readable Table 3/4 results (the `BENCH_tables.json` format
+/// written by `tables --json` and `mssweep`). Either table may be absent
+/// when only half the sweep was run. Field order is fixed, so identical
+/// results render byte-identically.
+pub fn tables_to_json(table3: Option<&[EvalRow]>, table4: Option<&[EvalRow]>) -> String {
+    let mut out = String::from("{\"version\":1");
+    if let Some(rows) = table3 {
+        let _ = write!(out, ",\"table3\":{}", rows_to_json_array(rows));
+    }
+    if let Some(rows) = table4 {
+        let _ = write!(out, ",\"table4\":{}", rows_to_json_array(rows));
+    }
+    out.push('}');
     out
 }
 
@@ -315,13 +473,59 @@ mod tests {
     #[test]
     fn table3_one_row_renders() {
         let w = ms_workloads::by_name("Wc", Scale::Test).unwrap();
-        let row = evaluate_workload(&w, false, &[1], &[4]);
+        let row = evaluate_workload(&w, false, &[1], &[4]).expect("Wc evaluates");
         assert_eq!(row.per_width.len(), 1);
         assert!(row.per_width[0].scalar_ipc > 0.0);
         assert!(row.per_width[0].multi[0].speedup > 0.5);
         let s = render_table34(&[row], false);
         assert!(s.contains("Table 3"));
         assert!(s.contains("Wc"));
+    }
+
+    #[test]
+    fn sweep_rows_match_the_direct_serial_path() {
+        let spec = SweepSpec {
+            workloads: vec!["Wc".into(), "Cmp".into()],
+            widths: vec![1],
+            unit_counts: vec![4, 8],
+            ..SweepSpec::table34(Scale::Test, false)
+        };
+        let report = run_sweep(&spec, &SweepOptions { jobs: 1, ..SweepOptions::default() });
+        let rows = rows_from_sweep(&report, false).expect("sweep succeeds");
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let w = ms_workloads::by_name(&row.name, Scale::Test).unwrap();
+            let direct = evaluate_workload(&w, false, &[1], &[4, 8]).unwrap();
+            assert_eq!(
+                render_table34(&[direct], false),
+                render_table34(std::slice::from_ref(row), false)
+            );
+        }
+    }
+
+    #[test]
+    fn tables_json_is_deterministic_and_shaped() {
+        let w = ms_workloads::by_name("Wc", Scale::Test).unwrap();
+        let row = evaluate_workload(&w, false, &[1], &[4]).unwrap();
+        let j1 = tables_to_json(Some(std::slice::from_ref(&row)), None);
+        let j2 = tables_to_json(Some(std::slice::from_ref(&row)), None);
+        assert_eq!(j1, j2);
+        assert!(j1.starts_with("{\"version\":1,\"table3\":[{\"name\":\"Wc\""));
+        assert!(j1.contains("\"multi\":[{\"units\":4,\"speedup\":"));
+        assert!(!j1.contains("table4"));
+    }
+
+    #[test]
+    fn eval_error_carries_job_identity() {
+        // An impossible cycle bound produces a real WorkloadError; the
+        // EvalError wrapper must surface the design point identity.
+        let w = ms_workloads::by_name("Wc", Scale::Test).unwrap();
+        let source =
+            w.run_multiscalar(SimConfig::multiscalar(4).max_cycles(1)).expect_err("must fail");
+        let e = EvalError { job: "Wc ms4 w1 inorder".into(), source };
+        let msg = e.to_string();
+        assert!(msg.starts_with("Wc ms4 w1 inorder: "), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! harness can quantify them.
 
 /// How the sequencer predicts the successor of a task.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum PredictorKind {
     /// The paper's PAs two-level predictor (Section 5.1).
     #[default]
@@ -22,7 +22,7 @@ pub enum PredictorKind {
 }
 
 /// What to do when a speculative task cannot allocate ARB space.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ArbFullPolicy {
     /// "A less drastic alternative is to stall all processing units but
     /// the head. As the head advances, entries are reclaimed and the

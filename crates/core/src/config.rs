@@ -16,7 +16,7 @@ use ms_pipeline::{LatencyTable, UnitConfig};
 /// assert_eq!(cfg.units, 8);
 /// assert_eq!(cfg.banks.nbanks, 16);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Number of processing units (1 for the scalar baseline).
     pub units: usize,
@@ -131,6 +131,71 @@ impl SimConfig {
         self
     }
 
+    /// A canonical, versioned, line-oriented serialization of every field
+    /// that affects simulation results.
+    ///
+    /// Two configs produce the same key iff they are equal, and the
+    /// rendering is stable across processes and Rust releases (unlike
+    /// `Hash`, whose hasher may change), so it is safe to use in on-disk
+    /// cache keys. The leading `simconfig v1` token must be bumped
+    /// whenever a field is added, removed, or changes meaning.
+    pub fn stable_key(&self) -> String {
+        let predictor = match self.predictor {
+            crate::PredictorKind::Pas => "pas",
+            crate::PredictorKind::StaticFirstTarget => "static-first-target",
+            crate::PredictorKind::LastOutcome => "last-outcome",
+        };
+        let arb_policy = match self.arb_full_policy {
+            crate::ArbFullPolicy::Stall => "stall",
+            crate::ArbFullPolicy::Squash => "squash",
+        };
+        let ring_width = match self.ring_width {
+            Some(w) => w.to_string(),
+            None => "issue".to_string(),
+        };
+        let l = &self.latencies;
+        format!(
+            "simconfig v1;units={};issue={};ooo={};window={};\
+             lat={},{},{},{},{},{},{},{},{},{},{},{};\
+             icache={},{},{},{};banks={},{},{},{},{};bus={},{};\
+             arb_capacity={};max_cycles={};ring_hop={};ring_width={};\
+             predictor={};arb_full={}",
+            self.units,
+            self.issue_width,
+            self.ooo,
+            self.window,
+            l.int_alu,
+            l.int_mul,
+            l.int_div,
+            l.load,
+            l.store,
+            l.branch,
+            l.fp_add_s,
+            l.fp_mul_s,
+            l.fp_div_s,
+            l.fp_add_d,
+            l.fp_mul_d,
+            l.fp_div_d,
+            self.icache.size_bytes,
+            self.icache.block_bytes,
+            self.icache.hit_time,
+            self.icache.miss_extra,
+            self.banks.nbanks,
+            self.banks.bank_bytes,
+            self.banks.block_bytes,
+            self.banks.hit_time,
+            self.banks.miss_extra,
+            self.bus.first_beat,
+            self.bus.extra_beat,
+            self.arb_capacity,
+            self.max_cycles,
+            self.ring_hop_latency,
+            ring_width,
+            predictor,
+            arb_policy,
+        )
+    }
+
     /// The per-unit pipeline configuration implied by this config.
     pub fn unit_config(&self) -> UnitConfig {
         UnitConfig {
@@ -172,5 +237,30 @@ mod tests {
     #[should_panic(expected = "1- and 2-way")]
     fn bad_width_rejected() {
         let _ = SimConfig::scalar().issue(3);
+    }
+
+    #[test]
+    fn stable_key_distinguishes_every_builder_knob() {
+        let base = SimConfig::multiscalar(8);
+        let variants = [
+            base.issue(2),
+            base.out_of_order(true),
+            base.max_cycles(7),
+            base.ring_latency(2),
+            base.ring_width(4),
+            base.predictor(crate::PredictorKind::LastOutcome),
+            base.arb_policy(crate::ArbFullPolicy::Squash),
+            SimConfig::multiscalar(4),
+            SimConfig::scalar(),
+        ];
+        let base_key = base.stable_key();
+        assert_eq!(base_key, SimConfig::multiscalar(8).stable_key());
+        assert!(base_key.starts_with("simconfig v1;"));
+        for v in &variants {
+            assert_ne!(v.stable_key(), base_key, "{v:?}");
+        }
+        let mut tiny = base;
+        tiny.arb_capacity = 8;
+        assert_ne!(tiny.stable_key(), base_key);
     }
 }

@@ -16,7 +16,7 @@ use crate::bus::MemBus;
 use crate::cache::{CacheStats, DirectMappedCache};
 
 /// Configuration for the banked data cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct DataBanksConfig {
     /// Number of banks (paper: 2 × processing units).
     pub nbanks: usize,

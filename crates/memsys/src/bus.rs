@@ -11,7 +11,7 @@
 //! in-order bus without per-cycle simulation.
 
 /// Configuration of the memory bus.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BusConfig {
     /// Cycles for the first 4-word beat.
     pub first_beat: u64,

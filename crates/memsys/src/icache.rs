@@ -10,7 +10,7 @@ use crate::bus::MemBus;
 use crate::cache::{CacheStats, DirectMappedCache};
 
 /// Configuration of one instruction cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ICacheConfig {
     /// Total bytes (paper: 32 KB).
     pub size_bytes: u32,

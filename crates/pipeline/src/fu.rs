@@ -8,7 +8,7 @@ use ms_isa::{ExecClass, FuClass};
 /// load 2 (address generation + issue; cache time is modelled separately
 /// by the memory system), branch 1. Floating point: SP add/sub 2,
 /// SP multiply 4, SP divide 12, DP add/sub 2, DP multiply 5, DP divide 18.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LatencyTable {
     /// Integer ALU operations.
     pub int_alu: u64,

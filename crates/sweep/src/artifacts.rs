@@ -1,0 +1,169 @@
+//! Deterministic sweep artifacts: a structured JSON results file and a
+//! flat CSV matrix.
+//!
+//! Both renderings depend only on the job list and the simulation
+//! results — never on worker count, interleaving, or whether a point was
+//! served from the cache — so a parallel run's artifacts are
+//! byte-identical to a serial run's, and a warm-cache re-run reproduces
+//! the cold run's files exactly.
+
+use crate::engine::SweepReport;
+use crate::job::Job;
+use crate::statsio::stats_to_json;
+use ms_trace::json;
+use std::fmt::Write as _;
+
+fn job_fields(job: &Job) -> String {
+    format!(
+        "\"job\":{},\"workload\":{},\"scale\":{},\"kind\":{},\"units\":{},\"width\":{},\"ooo\":{}",
+        json::string(&job.id()),
+        json::string(&job.workload),
+        json::string(job.scale.id()),
+        json::string(job.kind.id()),
+        job.cfg.units,
+        job.cfg.issue_width,
+        job.cfg.ooo,
+    )
+}
+
+/// The sweep as a single JSON document:
+///
+/// ```json
+/// {"version":1,"total":N,"jobs":[
+///   {"job":"wc@test/ms4/w1/inorder","workload":"Wc","scale":"test",
+///    "kind":"multiscalar","units":4,"width":1,"ooo":false,
+///    "ok":true,"stats":{...}},
+///   {"job":"...","ok":false,"error":"..."}]}
+/// ```
+pub fn results_json(report: &SweepReport) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"version\":1,\"total\":{},\"jobs\":[", report.total());
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match outcome {
+            Ok(o) => {
+                let _ = write!(
+                    out,
+                    "{{{},\"ok\":true,\"stats\":{}}}",
+                    job_fields(&o.job),
+                    stats_to_json(&o.stats)
+                );
+            }
+            Err(f) => {
+                let _ = write!(
+                    out,
+                    "{{{},\"ok\":false,\"error\":{}}}",
+                    job_fields(&f.job),
+                    json::string(&f.error)
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The sweep as a CSV matrix, one row per design point.
+pub fn results_csv(report: &SweepReport) -> String {
+    let mut out = String::from(
+        "job,workload,scale,kind,width,ooo,units,ok,cycles,instructions,ipc,\
+         prediction_accuracy,tasks_retired,tasks_squashed\n",
+    );
+    for outcome in &report.outcomes {
+        let job = match outcome {
+            Ok(o) => &o.job,
+            Err(f) => &f.job,
+        };
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{}",
+            job.id(),
+            job.workload,
+            job.scale.id(),
+            job.kind.id(),
+            job.cfg.issue_width,
+            job.cfg.ooo,
+            job.cfg.units,
+        );
+        match outcome {
+            Ok(o) => {
+                let _ = writeln!(
+                    out,
+                    ",true,{},{},{},{},{},{}",
+                    o.stats.cycles,
+                    o.stats.instructions,
+                    json::number(o.stats.ipc()),
+                    json::number(o.stats.prediction_accuracy()),
+                    o.stats.tasks_retired,
+                    o.stats.tasks_squashed,
+                );
+            }
+            Err(_) => {
+                let _ = writeln!(out, ",false,,,,,,");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{JobFailure, JobOutcome};
+    use crate::job::JobKind;
+    use ms_workloads::Scale;
+    use multiscalar::{RunStats, SimConfig};
+
+    fn report() -> SweepReport {
+        let ok_job = Job {
+            workload: "Wc".into(),
+            scale: Scale::Test,
+            kind: JobKind::Multiscalar,
+            cfg: SimConfig::multiscalar(4),
+        };
+        let bad_job = Job { workload: "Ghost".into(), kind: JobKind::Scalar, ..ok_job.clone() };
+        let stats = RunStats { cycles: 10, instructions: 20, ..RunStats::default() };
+        SweepReport {
+            outcomes: vec![
+                Ok(JobOutcome { job: ok_job, stats, cached: false }),
+                Err(JobFailure { job: bad_job, error: "unknown workload".into() }),
+            ],
+            executed: 1,
+            cache_hits: 0,
+        }
+    }
+
+    #[test]
+    fn json_includes_successes_and_failures() {
+        let j = results_json(&report());
+        assert!(j.starts_with("{\"version\":1,\"total\":2,\"jobs\":["));
+        assert!(j.contains("\"job\":\"wc@test/ms4/w1/inorder\""));
+        assert!(j.contains("\"ok\":true,\"stats\":{\"cycles\":10,"));
+        assert!(j.contains("\"ok\":false,\"error\":\"unknown workload\""));
+        assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn json_is_independent_of_cached_flag() {
+        let mut warm = report();
+        if let Ok(o) = &mut warm.outcomes[0] {
+            o.cached = true;
+        }
+        warm.cache_hits = 1;
+        warm.executed = 0;
+        assert_eq!(results_json(&report()), results_json(&warm));
+        assert_eq!(results_csv(&report()), results_csv(&warm));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_job() {
+        let csv = results_csv(&report());
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("job,workload,scale,kind,width,ooo,units,ok,"));
+        assert!(lines[1].contains(",true,10,20,"));
+        assert!(lines[2].ends_with(",false,,,,,,"));
+    }
+}

@@ -1,0 +1,188 @@
+//! On-disk content-addressed result cache.
+//!
+//! Each simulation result is stored in its own file, named by the FNV-1a
+//! hash of the job's full cache key (see [`crate::Job::cache_key`]). An
+//! entry is self-validating:
+//!
+//! ```text
+//! ms-sweep-cache v1
+//! key <full cache key>
+//! <RunStats key/value lines>
+//! checksum <fnv1a-64 of every preceding byte, 16 hex digits>
+//! ```
+//!
+//! A load only succeeds if the header matches, the stored key is exactly
+//! the requested key (guarding against filename-hash collisions), the
+//! checksum verifies, and the stats parse strictly. Anything else —
+//! truncation, bit rot, a format change, a different crate version — is
+//! a miss, and the point is recomputed rather than trusted.
+//!
+//! Writes go to a temp file first and are published with an atomic
+//! rename, so a sweep killed mid-write never leaves a half-entry that a
+//! resumed run could read.
+
+use crate::hash::fnv1a_64;
+use crate::statsio::{stats_from_kv, stats_to_kv};
+use multiscalar::RunStats;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const HEADER: &str = "ms-sweep-cache v1";
+
+/// Environment variable overriding the cache directory.
+pub const CACHE_ENV: &str = "MS_SWEEP_CACHE";
+
+/// Default cache directory (relative to the current working directory).
+pub const DEFAULT_CACHE_DIR: &str = ".ms-sweep-cache";
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The on-disk result cache. A `SweepCache` is cheap to clone and safe
+/// to share across worker threads (all state lives on disk; publishes
+/// are atomic renames).
+#[derive(Clone, Debug)]
+pub struct SweepCache {
+    dir: Option<PathBuf>,
+}
+
+impl SweepCache {
+    /// A disabled cache: every lookup misses, stores are dropped.
+    pub fn disabled() -> SweepCache {
+        SweepCache { dir: None }
+    }
+
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> SweepCache {
+        SweepCache { dir: Some(dir.into()) }
+    }
+
+    /// The conventional cache: `$MS_SWEEP_CACHE` if set and non-empty,
+    /// else [`DEFAULT_CACHE_DIR`].
+    pub fn from_env() -> SweepCache {
+        match std::env::var(CACHE_ENV) {
+            Ok(dir) if !dir.is_empty() => SweepCache::at(dir),
+            _ => SweepCache::at(DEFAULT_CACHE_DIR),
+        }
+    }
+
+    /// Whether lookups can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The cache directory, if enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn entry_path(dir: &Path, key: &str) -> PathBuf {
+        dir.join(format!("{:016x}.entry", fnv1a_64(key.as_bytes())))
+    }
+
+    /// Renders the entry bytes for `key`/`stats` (checksum included).
+    fn render(key: &str, stats: &RunStats) -> String {
+        let mut body = format!("{HEADER}\nkey {key}\n{}", stats_to_kv(stats));
+        let sum = fnv1a_64(body.as_bytes());
+        body.push_str(&format!("checksum {sum:016x}\n"));
+        body
+    }
+
+    /// Looks up `key`. Returns `None` on a miss *or* on any validation
+    /// failure — a corrupt entry is never trusted.
+    pub fn load(&self, key: &str) -> Option<RunStats> {
+        let dir = self.dir.as_deref()?;
+        let text = fs::read_to_string(Self::entry_path(dir, key)).ok()?;
+        // Split off the trailing `checksum <hex>` line.
+        let body = text.strip_suffix('\n')?;
+        let (prefix, checksum_line) = body.rsplit_once('\n')?;
+        let stored_sum = checksum_line.strip_prefix("checksum ")?;
+        let mut prefix = prefix.to_string();
+        prefix.push('\n');
+        if format!("{:016x}", fnv1a_64(prefix.as_bytes())) != stored_sum {
+            return None;
+        }
+        let rest = prefix.strip_prefix(HEADER)?.strip_prefix('\n')?;
+        let (key_line, stats_text) = rest.split_once('\n')?;
+        if key_line.strip_prefix("key ")? != key {
+            return None;
+        }
+        stats_from_kv(stats_text)
+    }
+
+    /// Stores `stats` under `key`. Best-effort: an I/O failure (read-only
+    /// filesystem, disk full) degrades to "not cached" rather than
+    /// failing the sweep; the error is reported for diagnostics.
+    pub fn store(&self, key: &str, stats: &RunStats) -> std::io::Result<()> {
+        let Some(dir) = self.dir.as_deref() else { return Ok(()) };
+        fs::create_dir_all(dir)?;
+        let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(".tmp-{}-{n}", std::process::id()));
+        fs::write(&tmp, Self::render(key, stats))?;
+        let path = Self::entry_path(dir, key);
+        fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("ms-sweep-cache-unit-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn stats(cycles: u64) -> RunStats {
+        RunStats { cycles, instructions: cycles / 2, ..RunStats::default() }
+    }
+
+    #[test]
+    fn round_trip_and_miss() {
+        let dir = tmpdir("roundtrip");
+        let c = SweepCache::at(&dir);
+        assert!(c.load("k1").is_none());
+        c.store("k1", &stats(100)).unwrap();
+        assert_eq!(c.load("k1").unwrap().cycles, 100);
+        assert!(c.load("k2").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmpdir("corrupt");
+        let c = SweepCache::at(&dir);
+        c.store("k", &stats(42)).unwrap();
+        let path = SweepCache::entry_path(&dir, "k");
+
+        // Truncated.
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(c.load("k").is_none(), "truncated entry must miss");
+
+        // Flipped value (checksum no longer matches).
+        fs::write(&path, full.replace("cycles 42", "cycles 43")).unwrap();
+        assert!(c.load("k").is_none(), "tampered entry must miss");
+
+        // Wrong key under the right filename (hash collision defense).
+        fs::write(&path, SweepCache::render("other-key", &stats(42))).unwrap();
+        assert!(c.load("k").is_none(), "key mismatch must miss");
+
+        // Restored entry hits again.
+        fs::write(&path, &full).unwrap();
+        assert_eq!(c.load("k").unwrap().cycles, 42);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let c = SweepCache::disabled();
+        c.store("k", &stats(1)).unwrap();
+        assert!(c.load("k").is_none());
+        assert!(!c.is_enabled());
+    }
+}

@@ -1,0 +1,350 @@
+//! The execution engine: cache probe, worker pool, deterministic
+//! result assembly.
+//!
+//! Execution happens in three phases:
+//!
+//! 1. **Probe** — every job's cache key is looked up serially; hits are
+//!    settled immediately without touching a simulator.
+//! 2. **Execute** — the remaining jobs run on a pool of
+//!    [`SweepOptions::jobs`] `std::thread` workers pulling indices off a
+//!    shared atomic counter. Each result lands in the slot its job
+//!    occupied in the input order, so the assembled report is identical
+//!    no matter how many workers ran or how they interleaved.
+//! 3. **Assemble** — outcomes are returned in input order inside a
+//!    [`SweepReport`]. A failed design point becomes a [`JobFailure`]
+//!    carrying the job identity; it never aborts the rest of the sweep.
+
+use crate::cache::SweepCache;
+use crate::job::{Job, JobKind};
+use crate::spec::SweepSpec;
+use ms_trace::MetricsSink;
+use ms_workloads::{by_name, Scale, Workload};
+use multiscalar::RunStats;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a sweep should be executed.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    /// `1` gives the exact serial execution order.
+    pub jobs: usize,
+    /// Result cache (default: disabled — opt in with
+    /// [`SweepCache::from_env`] or [`SweepCache::at`]).
+    pub cache: SweepCache,
+    /// Emit one progress line per settled job to stderr.
+    pub progress: bool,
+    /// If set, every *executed* multiscalar job also runs with a
+    /// [`MetricsSink`] attached and writes its
+    /// [`ms_trace::MetricsReport`] JSON into this directory. Multiscalar
+    /// jobs then bypass the cache probe (a cached result has no event
+    /// stream to fold), though their results are still stored for later
+    /// metric-less sweeps.
+    pub metrics_dir: Option<PathBuf>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions { jobs: 0, cache: SweepCache::disabled(), progress: false, metrics_dir: None }
+    }
+}
+
+impl SweepOptions {
+    /// The number of workers to spawn for `pending` runnable jobs.
+    pub fn worker_count(&self, pending: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.clamp(1, pending.max(1))
+    }
+}
+
+/// A successfully settled design point.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job that produced this result.
+    pub job: Job,
+    /// The validated simulation result.
+    pub stats: RunStats,
+    /// Whether the result came from the cache (no simulation executed).
+    pub cached: bool,
+}
+
+/// A design point that failed, identified precisely so the rest of the
+/// sweep remains usable.
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// The job that failed.
+    pub job: Job,
+    /// What went wrong (assembly, simulation, validation, or artifact
+    /// I/O).
+    pub error: String,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.job.id(), self.error)
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+/// The result of a sweep: per-job outcomes in spec order plus execution
+/// accounting.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// One entry per job, in the exact order the jobs were given.
+    pub outcomes: Vec<Result<JobOutcome, JobFailure>>,
+    /// Jobs dispatched to a simulator (cache misses).
+    pub executed: usize,
+    /// Jobs settled from the cache without simulating.
+    pub cache_hits: usize,
+}
+
+impl SweepReport {
+    /// Total number of jobs.
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// The failed design points, in sweep order.
+    pub fn failures(&self) -> impl Iterator<Item = &JobFailure> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().err())
+    }
+
+    /// The successful design points, in sweep order.
+    pub fn successes(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().ok())
+    }
+
+    /// Looks up the outcome for an exact job (workload, scale, kind, and
+    /// full config must all match).
+    pub fn get(&self, job: &Job) -> Option<&JobOutcome> {
+        self.successes().find(|o| &o.job == job)
+    }
+
+    /// All outcomes, or the first failure if any point failed.
+    pub fn into_results(self) -> Result<Vec<JobOutcome>, JobFailure> {
+        let mut ok = Vec::with_capacity(self.outcomes.len());
+        for o in self.outcomes {
+            ok.push(o?);
+        }
+        Ok(ok)
+    }
+}
+
+/// Expands `spec` and executes it. See [`run_jobs`].
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepReport {
+    run_jobs(spec.expand(), opts)
+}
+
+type WorkloadTable = HashMap<(String, Scale), Option<(Workload, u64)>>;
+
+fn resolve_workloads(jobs: &[Job]) -> WorkloadTable {
+    let mut table = WorkloadTable::new();
+    for j in jobs {
+        table.entry((j.workload.to_ascii_lowercase(), j.scale)).or_insert_with(|| {
+            by_name(&j.workload, j.scale).map(|w| {
+                let fp = w.fingerprint();
+                (w, fp)
+            })
+        });
+    }
+    table
+}
+
+struct Progress {
+    enabled: bool,
+    done: AtomicUsize,
+    total: usize,
+}
+
+impl Progress {
+    fn new(enabled: bool, total: usize) -> Self {
+        Progress { enabled, done: AtomicUsize::new(0), total }
+    }
+
+    fn tick(&self, job: &Job, note: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.enabled {
+            eprintln!("[{done}/{}] {} {note}", self.total, job.id());
+        }
+    }
+}
+
+/// Runs an explicit job list (the lower-level entry point; ablation-style
+/// sweeps can hand-build jobs with arbitrary [`multiscalar::SimConfig`]s).
+/// Results come back in input order; see the module docs for the phases.
+pub fn run_jobs(jobs: Vec<Job>, opts: &SweepOptions) -> SweepReport {
+    let total = jobs.len();
+    let workloads = resolve_workloads(&jobs);
+    let progress = Progress::new(opts.progress, total);
+
+    if let Some(dir) = &opts.metrics_dir {
+        // Fail early and uniformly if the metrics directory is unusable.
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            let error = format!("cannot create metrics dir {}: {e}", dir.display());
+            return SweepReport {
+                outcomes: jobs
+                    .into_iter()
+                    .map(|job| Err(JobFailure { job, error: error.clone() }))
+                    .collect(),
+                executed: 0,
+                cache_hits: 0,
+            };
+        }
+    }
+
+    // Phase 1: settle unknown workloads and cache hits without simulating.
+    let slots: Vec<Mutex<Option<Result<JobOutcome, JobFailure>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let mut pending: Vec<(usize, Job)> = Vec::new();
+    let mut cache_hits = 0usize;
+    for (i, job) in jobs.into_iter().enumerate() {
+        let entry = &workloads[&(job.workload.to_ascii_lowercase(), job.scale)];
+        let Some((_, fingerprint)) = entry else {
+            progress.tick(&job, "FAILED (unknown workload)");
+            *slots[i].lock().unwrap() =
+                Some(Err(JobFailure { error: "unknown workload".into(), job }));
+            continue;
+        };
+        let probe = opts.metrics_dir.is_none() || job.kind == JobKind::Scalar;
+        if probe {
+            if let Some(stats) = opts.cache.load(&job.cache_key(*fingerprint)) {
+                cache_hits += 1;
+                progress.tick(&job, &format!("{} cycles (cached)", stats.cycles));
+                *slots[i].lock().unwrap() = Some(Ok(JobOutcome { job, stats, cached: true }));
+                continue;
+            }
+        }
+        pending.push((i, job));
+    }
+
+    // Phase 2: execute the misses on the worker pool.
+    let executed = pending.len();
+    if !pending.is_empty() {
+        let next = AtomicUsize::new(0);
+        let nworkers = opts.worker_count(pending.len());
+        std::thread::scope(|scope| {
+            for _ in 0..nworkers {
+                scope.spawn(|| loop {
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((slot, job)) = pending.get(p) else { break };
+                    let (workload, fingerprint) = workloads
+                        [&(job.workload.to_ascii_lowercase(), job.scale)]
+                        .as_ref()
+                        .expect("pending jobs have resolved workloads");
+                    let outcome = match execute(job, workload, opts, *slot) {
+                        Ok(stats) => {
+                            if let Err(e) = opts.cache.store(&job.cache_key(*fingerprint), &stats) {
+                                // Degrade to "not cached"; the result is
+                                // still valid.
+                                eprintln!("ms-sweep: cache store failed for {}: {e}", job.id());
+                            }
+                            progress.tick(job, &format!("{} cycles", stats.cycles));
+                            Ok(JobOutcome { job: job.clone(), stats, cached: false })
+                        }
+                        Err(error) => {
+                            progress.tick(job, &format!("FAILED ({error})"));
+                            Err(JobFailure { job: job.clone(), error })
+                        }
+                    };
+                    *slots[*slot].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+    }
+
+    // Phase 3: assemble in input order.
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot settled"))
+        .collect();
+    SweepReport { outcomes, executed, cache_hits }
+}
+
+/// Runs one job to completion, including the optional per-job metrics
+/// artifact.
+fn execute(job: &Job, w: &Workload, opts: &SweepOptions, slot: usize) -> Result<RunStats, String> {
+    match job.kind {
+        JobKind::Scalar => w.run_scalar(job.cfg).map_err(|e| e.to_string()),
+        JobKind::Multiscalar => match &opts.metrics_dir {
+            None => w.run_multiscalar(job.cfg).map_err(|e| e.to_string()),
+            Some(dir) => {
+                let (stats, sink) = w
+                    .run_multiscalar_with_sink(job.cfg, MetricsSink::new())
+                    .map_err(|e| e.to_string())?;
+                let name = format!("{slot:04}-{}.json", job.id().replace('/', "_"));
+                let path = dir.join(name);
+                std::fs::write(&path, sink.into_report().to_json())
+                    .map_err(|e| format!("writing metrics {}: {e}", path.display()))?;
+                Ok(stats)
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_workloads::Scale;
+    use multiscalar::SimConfig;
+
+    fn tiny_jobs() -> Vec<Job> {
+        vec![
+            Job {
+                workload: "Wc".into(),
+                scale: Scale::Test,
+                kind: JobKind::Scalar,
+                cfg: SimConfig::scalar(),
+            },
+            Job {
+                workload: "Wc".into(),
+                scale: Scale::Test,
+                kind: JobKind::Multiscalar,
+                cfg: SimConfig::multiscalar(4),
+            },
+        ]
+    }
+
+    #[test]
+    fn runs_jobs_and_reports_in_order() {
+        let report = run_jobs(tiny_jobs(), &SweepOptions::default());
+        assert_eq!(report.total(), 2);
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.cache_hits, 0);
+        let results = report.into_results().expect("both points succeed");
+        assert_eq!(results[0].job.kind, JobKind::Scalar);
+        assert_eq!(results[1].job.kind, JobKind::Multiscalar);
+        assert!(results[0].stats.cycles > 0);
+        assert!(!results[0].cached && !results[1].cached);
+    }
+
+    #[test]
+    fn unknown_workload_fails_that_point_only() {
+        let mut jobs = tiny_jobs();
+        jobs[0].workload = "NoSuchBenchmark".into();
+        let report = run_jobs(jobs, &SweepOptions::default());
+        assert_eq!(report.executed, 1);
+        let failures: Vec<_> = report.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].to_string().contains("nosuchbenchmark"));
+        assert_eq!(report.successes().count(), 1);
+    }
+
+    #[test]
+    fn get_finds_exact_points() {
+        let jobs = tiny_jobs();
+        let probe = jobs[1].clone();
+        let report = run_jobs(jobs, &SweepOptions::default());
+        assert!(report.get(&probe).is_some());
+        let mut other = probe.clone();
+        other.cfg.arb_capacity = 1;
+        assert!(report.get(&other).is_none());
+    }
+}

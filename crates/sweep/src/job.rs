@@ -1,0 +1,112 @@
+//! One design point of a sweep: a workload on a simulator configuration.
+
+use ms_workloads::Scale;
+use multiscalar::SimConfig;
+
+/// Which simulator a job runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// The scalar baseline processor (Table 3/4 "Scalar IPC" columns).
+    Scalar,
+    /// The multiscalar processor (`cfg.units` processing units).
+    Multiscalar,
+}
+
+impl JobKind {
+    /// Stable identifier used in job ids and cache keys.
+    pub fn id(self) -> &'static str {
+        match self {
+            JobKind::Scalar => "scalar",
+            JobKind::Multiscalar => "multiscalar",
+        }
+    }
+}
+
+/// An independent simulation job: one workload, one configuration, one
+/// simulator kind. Jobs carry everything needed to execute and to name
+/// their result, and nothing about *how* they are executed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Job {
+    /// Workload name as accepted by `ms_workloads::by_name`
+    /// (case-insensitive).
+    pub workload: String,
+    /// Input scale.
+    pub scale: Scale,
+    /// Scalar baseline or multiscalar.
+    pub kind: JobKind,
+    /// Full simulator configuration.
+    pub cfg: SimConfig,
+}
+
+impl Job {
+    /// Human-readable job identity, e.g. `wc@test/ms8/w2/ooo` or
+    /// `compress@full/scalar/w1/inorder`. Used in progress lines, error
+    /// messages, and artifact rows. Ablation knobs beyond the paper's
+    /// table axes do not appear here — the cache key (which covers the
+    /// full configuration) is [`Job::cache_key`].
+    pub fn id(&self) -> String {
+        let machine = match self.kind {
+            JobKind::Scalar => "scalar".to_string(),
+            JobKind::Multiscalar => format!("ms{}", self.cfg.units),
+        };
+        format!(
+            "{}@{}/{}/w{}/{}",
+            self.workload.to_ascii_lowercase(),
+            self.scale.id(),
+            machine,
+            self.cfg.issue_width,
+            if self.cfg.ooo { "ooo" } else { "inorder" },
+        )
+    }
+
+    /// The full content-addressed cache key for this job's result, given
+    /// the workload's content fingerprint
+    /// ([`ms_workloads::Workload::fingerprint`]). Covers everything that
+    /// can change the simulation outcome: the workload's program, inputs
+    /// and expectations, the complete [`SimConfig`], the simulator kind,
+    /// and the crate version (so a simulator change invalidates every
+    /// entry).
+    pub fn cache_key(&self, fingerprint: u64) -> String {
+        format!(
+            "ms-sweep v1|workload={}|scale={}|fingerprint={:016x}|kind={}|{}|crate={}",
+            self.workload.to_ascii_lowercase(),
+            self.scale.id(),
+            fingerprint,
+            self.kind.id(),
+            self.cfg.stable_key(),
+            env!("CARGO_PKG_VERSION"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job {
+            workload: "Wc".into(),
+            scale: Scale::Test,
+            kind: JobKind::Multiscalar,
+            cfg: SimConfig::multiscalar(8).issue(2),
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_and_lowercase() {
+        assert_eq!(job().id(), "wc@test/ms8/w2/inorder");
+        let scalar = Job { kind: JobKind::Scalar, cfg: SimConfig::scalar(), ..job() };
+        assert_eq!(scalar.id(), "wc@test/scalar/w1/inorder");
+    }
+
+    #[test]
+    fn cache_key_covers_fingerprint_and_config() {
+        let j = job();
+        let k = j.cache_key(1);
+        assert_ne!(k, j.cache_key(2), "fingerprint is part of the key");
+        let mut tweaked = j.clone();
+        tweaked.cfg.arb_capacity = 8;
+        assert_ne!(k, tweaked.cache_key(1), "non-axis config fields are part of the key");
+        assert_eq!(k, job().cache_key(1), "keys are deterministic");
+    }
+}

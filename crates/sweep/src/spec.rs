@@ -1,0 +1,124 @@
+//! Declarative sweep specifications and their expansion into job lists.
+
+use crate::job::{Job, JobKind};
+use ms_workloads::{suite, Scale};
+use multiscalar::SimConfig;
+
+/// A declarative description of a design-space sweep: the cross product
+/// of workloads × issue widths × issue orders × unit counts, plus the
+/// scalar baseline at each (width, order) point.
+///
+/// [`SweepSpec::expand`] flattens the spec into an ordered [`Job`] list;
+/// that order is the canonical result order regardless of how many
+/// workers execute the jobs.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Workload names (case-insensitive); empty means the full
+    /// ten-benchmark suite in the paper's table order.
+    pub workloads: Vec<String>,
+    /// Input scale for every workload.
+    pub scale: Scale,
+    /// Per-unit issue widths (paper: 1 and 2).
+    pub widths: Vec<usize>,
+    /// Issue orders: `false` = in-order (Table 3), `true` = out-of-order
+    /// (Table 4).
+    pub orders: Vec<bool>,
+    /// Multiscalar unit counts (paper: 4 and 8).
+    pub unit_counts: Vec<usize>,
+    /// Include the scalar baseline at each (width, order) point. Needed
+    /// for speedup columns; disable for ablation-style sweeps that only
+    /// compare multiscalar points.
+    pub include_scalar: bool,
+}
+
+impl SweepSpec {
+    /// The paper's full Table 3 + Table 4 sweep at the given scale.
+    pub fn tables34(scale: Scale) -> SweepSpec {
+        SweepSpec {
+            workloads: Vec::new(),
+            scale,
+            widths: vec![1, 2],
+            orders: vec![false, true],
+            unit_counts: vec![4, 8],
+            include_scalar: true,
+        }
+    }
+
+    /// One table's half of the sweep (`ooo = false` for Table 3, `true`
+    /// for Table 4).
+    pub fn table34(scale: Scale, ooo: bool) -> SweepSpec {
+        SweepSpec { orders: vec![ooo], ..SweepSpec::tables34(scale) }
+    }
+
+    /// The workload names this spec covers, in sweep order.
+    pub fn workload_names(&self) -> Vec<String> {
+        if self.workloads.is_empty() {
+            suite(self.scale).iter().map(|w| w.name.to_string()).collect()
+        } else {
+            self.workloads.clone()
+        }
+    }
+
+    /// Expands the spec into the canonical ordered job list:
+    /// workload-major, then order, then width, with the scalar baseline
+    /// (if any) preceding the multiscalar unit counts at each point.
+    pub fn expand(&self) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for name in self.workload_names() {
+            for &ooo in &self.orders {
+                for &width in &self.widths {
+                    if self.include_scalar {
+                        jobs.push(Job {
+                            workload: name.clone(),
+                            scale: self.scale,
+                            kind: JobKind::Scalar,
+                            cfg: SimConfig::scalar().issue(width).out_of_order(ooo),
+                        });
+                    }
+                    for &units in &self.unit_counts {
+                        jobs.push(Job {
+                            workload: name.clone(),
+                            scale: self.scale,
+                            kind: JobKind::Multiscalar,
+                            cfg: SimConfig::multiscalar(units).issue(width).out_of_order(ooo),
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables34_expands_to_the_paper_design_space() {
+        let jobs = SweepSpec::tables34(Scale::Test).expand();
+        // 10 workloads × 2 orders × 2 widths × (1 scalar + 2 unit counts).
+        assert_eq!(jobs.len(), 10 * 2 * 2 * 3);
+        assert_eq!(jobs[0].kind, JobKind::Scalar);
+        assert_eq!(jobs[1].cfg.units, 4);
+        assert_eq!(jobs[2].cfg.units, 8);
+        // Expansion is deterministic.
+        assert_eq!(jobs, SweepSpec::tables34(Scale::Test).expand());
+    }
+
+    #[test]
+    fn explicit_workloads_and_axes_are_respected() {
+        let spec = SweepSpec {
+            workloads: vec!["Wc".into(), "Cmp".into()],
+            widths: vec![1],
+            unit_counts: vec![4],
+            ..SweepSpec::table34(Scale::Test, false)
+        };
+        let jobs = spec.expand();
+        // 2 workloads × 1 order × 1 width × (scalar + ms4).
+        assert_eq!(jobs.len(), 4);
+        assert!(jobs.iter().all(|j| !j.cfg.ooo));
+        assert_eq!(jobs[0].id(), "wc@test/scalar/w1/inorder");
+        assert_eq!(jobs[3].id(), "cmp@test/ms4/w1/inorder");
+    }
+}

@@ -1,0 +1,262 @@
+//! `RunStats` serialization: JSON for artifacts, a strict line-oriented
+//! key/value form for cache entries.
+//!
+//! Both renderings have a fixed field order, so identical stats always
+//! produce identical bytes — the determinism tests rely on this. The
+//! key/value form is also the *parser's* expected order: a cache entry
+//! with fields missing, reordered, renamed, or non-numeric fails to
+//! parse and is treated as a miss (recomputed, never trusted).
+
+use multiscalar::RunStats;
+use std::fmt::Write as _;
+
+/// Formats an `f64` as a JSON number (non-finite becomes `null`).
+fn f(v: f64) -> String {
+    ms_trace::json::number(v)
+}
+
+/// `RunStats` as a JSON object with fixed field order (the same layout
+/// `mstrace`'s `report.json` uses).
+pub fn stats_to_json(s: &RunStats) -> String {
+    let b = &s.breakdown;
+    format!(
+        concat!(
+            "{{\"cycles\":{},\"instructions\":{},\"ipc\":{},",
+            "\"squashed_instructions\":{},\"tasks_retired\":{},",
+            "\"tasks_squashed\":{},\"control_squashes\":{},",
+            "\"memory_squashes\":{},\"arb_squashes\":{},",
+            "\"predictions\":{},\"correct_predictions\":{},",
+            "\"prediction_accuracy\":{},",
+            "\"breakdown\":{{\"useful\":{},\"non_useful\":{},",
+            "\"no_comp_inter_task\":{},\"no_comp_intra_task\":{},",
+            "\"no_comp_wait_retire\":{},\"no_comp_arb\":{},\"idle\":{}}},",
+            "\"arb\":{{\"loads\":{},\"stores\":{},\"load_forwards\":{},",
+            "\"violations\":{},\"full_events\":{},\"peak_bank_occupancy\":{}}},",
+            "\"dcache\":{{\"accesses\":{},\"misses\":{}}},",
+            "\"icache\":{{\"accesses\":{},\"misses\":{}}},",
+            "\"bus\":{{\"transactions\":{},\"busy_cycles\":{},",
+            "\"contention_cycles\":{}}},",
+            "\"descriptor_cache\":{{\"accesses\":{},\"misses\":{}}}}}"
+        ),
+        s.cycles,
+        s.instructions,
+        f(s.ipc()),
+        s.squashed_instructions,
+        s.tasks_retired,
+        s.tasks_squashed,
+        s.control_squashes,
+        s.memory_squashes,
+        s.arb_squashes,
+        s.predictions,
+        s.correct_predictions,
+        f(s.prediction_accuracy()),
+        b.useful,
+        b.non_useful,
+        b.no_comp_inter_task,
+        b.no_comp_intra_task,
+        b.no_comp_wait_retire,
+        b.no_comp_arb,
+        b.idle,
+        s.arb.loads,
+        s.arb.stores,
+        s.arb.load_forwards,
+        s.arb.violations,
+        s.arb.full_events,
+        s.arb.peak_bank_occupancy,
+        s.dcache.accesses,
+        s.dcache.misses,
+        s.icache.accesses,
+        s.icache.misses,
+        s.bus.transactions,
+        s.bus.busy_cycles,
+        s.bus.contention_cycles,
+        s.descriptor_cache.0,
+        s.descriptor_cache.1,
+    )
+}
+
+/// Field names of the key/value form, in serialization order.
+const FIELDS: &[&str] = &[
+    "cycles",
+    "instructions",
+    "squashed_instructions",
+    "tasks_retired",
+    "tasks_squashed",
+    "control_squashes",
+    "memory_squashes",
+    "arb_squashes",
+    "predictions",
+    "correct_predictions",
+    "breakdown.useful",
+    "breakdown.non_useful",
+    "breakdown.no_comp_inter_task",
+    "breakdown.no_comp_intra_task",
+    "breakdown.no_comp_wait_retire",
+    "breakdown.no_comp_arb",
+    "breakdown.idle",
+    "arb.loads",
+    "arb.stores",
+    "arb.load_forwards",
+    "arb.violations",
+    "arb.full_events",
+    "arb.peak_bank_occupancy",
+    "dcache.accesses",
+    "dcache.misses",
+    "icache.accesses",
+    "icache.misses",
+    "bus.transactions",
+    "bus.busy_cycles",
+    "bus.contention_cycles",
+    "descriptor_cache.accesses",
+    "descriptor_cache.misses",
+];
+
+fn values(s: &RunStats) -> [u64; 32] {
+    let b = &s.breakdown;
+    [
+        s.cycles,
+        s.instructions,
+        s.squashed_instructions,
+        s.tasks_retired,
+        s.tasks_squashed,
+        s.control_squashes,
+        s.memory_squashes,
+        s.arb_squashes,
+        s.predictions,
+        s.correct_predictions,
+        b.useful,
+        b.non_useful,
+        b.no_comp_inter_task,
+        b.no_comp_intra_task,
+        b.no_comp_wait_retire,
+        b.no_comp_arb,
+        b.idle,
+        s.arb.loads,
+        s.arb.stores,
+        s.arb.load_forwards,
+        s.arb.violations,
+        s.arb.full_events,
+        s.arb.peak_bank_occupancy as u64,
+        s.dcache.accesses,
+        s.dcache.misses,
+        s.icache.accesses,
+        s.icache.misses,
+        s.bus.transactions,
+        s.bus.busy_cycles,
+        s.bus.contention_cycles,
+        s.descriptor_cache.0,
+        s.descriptor_cache.1,
+    ]
+}
+
+fn build(vals: &[u64; 32]) -> RunStats {
+    let mut s = RunStats {
+        cycles: vals[0],
+        instructions: vals[1],
+        squashed_instructions: vals[2],
+        tasks_retired: vals[3],
+        tasks_squashed: vals[4],
+        control_squashes: vals[5],
+        memory_squashes: vals[6],
+        arb_squashes: vals[7],
+        predictions: vals[8],
+        correct_predictions: vals[9],
+        descriptor_cache: (vals[30], vals[31]),
+        ..RunStats::default()
+    };
+    s.breakdown.useful = vals[10];
+    s.breakdown.non_useful = vals[11];
+    s.breakdown.no_comp_inter_task = vals[12];
+    s.breakdown.no_comp_intra_task = vals[13];
+    s.breakdown.no_comp_wait_retire = vals[14];
+    s.breakdown.no_comp_arb = vals[15];
+    s.breakdown.idle = vals[16];
+    s.arb.loads = vals[17];
+    s.arb.stores = vals[18];
+    s.arb.load_forwards = vals[19];
+    s.arb.violations = vals[20];
+    s.arb.full_events = vals[21];
+    s.arb.peak_bank_occupancy = vals[22] as usize;
+    s.dcache.accesses = vals[23];
+    s.dcache.misses = vals[24];
+    s.icache.accesses = vals[25];
+    s.icache.misses = vals[26];
+    s.bus.transactions = vals[27];
+    s.bus.busy_cycles = vals[28];
+    s.bus.contention_cycles = vals[29];
+    s
+}
+
+/// `RunStats` as `name value` lines in [`FIELDS`] order.
+pub fn stats_to_kv(s: &RunStats) -> String {
+    let vals = values(s);
+    let mut out = String::new();
+    for (name, v) in FIELDS.iter().zip(vals) {
+        let _ = writeln!(out, "{name} {v}");
+    }
+    out
+}
+
+/// Parses the output of [`stats_to_kv`]. Strict: every field must be
+/// present, in order, with a numeric value, and nothing may follow.
+pub fn stats_from_kv(text: &str) -> Option<RunStats> {
+    let mut vals = [0u64; 32];
+    let mut lines = text.lines();
+    for (name, slot) in FIELDS.iter().zip(vals.iter_mut()) {
+        let line = lines.next()?;
+        let (k, v) = line.split_once(' ')?;
+        if k != *name {
+            return None;
+        }
+        *slot = v.parse().ok()?;
+    }
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(build(&vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        let mut s = RunStats {
+            cycles: 123,
+            instructions: 456,
+            descriptor_cache: (5, 2),
+            ..RunStats::default()
+        };
+        s.breakdown.useful = 99;
+        s.arb.peak_bank_occupancy = 7;
+        s.bus.contention_cycles = 11;
+        s
+    }
+
+    #[test]
+    fn kv_round_trips() {
+        let s = sample();
+        let kv = stats_to_kv(&s);
+        let back = stats_from_kv(&kv).expect("parse");
+        assert_eq!(stats_to_kv(&back), kv);
+        assert_eq!(back.cycles, 123);
+        assert_eq!(back.arb.peak_bank_occupancy, 7);
+        assert_eq!(back.descriptor_cache, (5, 2));
+    }
+
+    #[test]
+    fn kv_rejects_tampering() {
+        let kv = stats_to_kv(&sample());
+        assert!(stats_from_kv(&kv[..kv.len() / 2]).is_none(), "truncation");
+        assert!(stats_from_kv(&kv.replace("cycles 123", "cycles abc")).is_none(), "non-numeric");
+        assert!(stats_from_kv(&kv.replace("instructions", "instrs")).is_none(), "renamed field");
+        assert!(stats_from_kv(&format!("{kv}extra 1\n")).is_none(), "trailing junk");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let j = stats_to_json(&sample());
+        assert!(j.starts_with("{\"cycles\":123,\"instructions\":456,"));
+        assert!(j.contains("\"descriptor_cache\":{\"accesses\":5,\"misses\":2}"));
+    }
+}

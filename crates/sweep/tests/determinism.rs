@@ -1,0 +1,45 @@
+//! Parallel execution must be observationally identical to serial
+//! execution: same outcomes, same order, byte-identical artifacts.
+
+use ms_sweep::{artifacts, run_sweep, SweepOptions, SweepSpec};
+use ms_workloads::Scale;
+
+/// 3 workloads × 2 configurations (scalar + 4-unit at w1, in-order and
+/// out-of-order) — 12 design points, enough to keep every worker of an
+/// 8-thread pool busy and racing.
+fn spec() -> SweepSpec {
+    SweepSpec {
+        workloads: vec!["Wc".into(), "Cmp".into(), "Example".into()],
+        widths: vec![1],
+        unit_counts: vec![4],
+        ..SweepSpec::tables34(Scale::Test)
+    }
+}
+
+fn artifacts_with_jobs(jobs: usize) -> (String, String) {
+    let opts = SweepOptions { jobs, ..SweepOptions::default() };
+    let report = run_sweep(&spec(), &opts);
+    assert_eq!(report.total(), 3 * 2 * 2);
+    assert_eq!(report.executed, report.total(), "cache is disabled, all points execute");
+    assert_eq!(report.failures().count(), 0);
+    (artifacts::results_json(&report), artifacts::results_csv(&report))
+}
+
+#[test]
+fn two_and_eight_workers_match_serial_byte_for_byte() {
+    let (serial_json, serial_csv) = artifacts_with_jobs(1);
+    for workers in [2, 8] {
+        let (json, csv) = artifacts_with_jobs(workers);
+        assert_eq!(json, serial_json, "results.json differs with {workers} workers");
+        assert_eq!(csv, serial_csv, "results.csv differs with {workers} workers");
+    }
+}
+
+#[test]
+fn worker_count_caps_never_exceed_pending_jobs() {
+    let opts = SweepOptions { jobs: 64, ..SweepOptions::default() };
+    assert_eq!(opts.worker_count(3), 3, "no idle surplus workers");
+    assert_eq!(opts.worker_count(0), 1);
+    let serial = SweepOptions { jobs: 1, ..SweepOptions::default() };
+    assert_eq!(serial.worker_count(100), 1);
+}

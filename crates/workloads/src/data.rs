@@ -7,7 +7,7 @@ use std::fmt::Write;
 /// Input sizing: `Test` keeps unit tests fast; `Full` approximates the
 /// paper's smallest benchmark sizes (hundreds of thousands of dynamic
 /// instructions).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Small inputs for unit/integration tests.
     Test,
@@ -21,6 +21,23 @@ impl Scale {
         match self {
             Scale::Test => test,
             Scale::Full => full,
+        }
+    }
+
+    /// Stable identifier, safe for on-disk cache keys and CLI round-trips.
+    pub fn id(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses the identifier produced by [`Scale::id`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "test" => Some(Scale::Test),
+            "full" => Some(Scale::Full),
+            _ => None,
         }
     }
 }

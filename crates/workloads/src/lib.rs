@@ -144,6 +144,41 @@ impl From<SimError> for WorkloadError {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl Workload {
+    /// A stable 64-bit fingerprint of the workload's full content
+    /// identity: name, generated source (which bakes in the scale-sized
+    /// inputs and the per-workload RNG seeds), and reference-computed
+    /// expectations.
+    ///
+    /// Equal fingerprints mean the same program, inputs, and expected
+    /// outputs, so a simulation result for one is valid for the other —
+    /// this is what keys the `ms-sweep` on-disk result cache. The hash is
+    /// FNV-1a, independent of `std`'s unstable default hasher.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, self.name.as_bytes());
+        fnv1a(&mut h, &[0xff]);
+        fnv1a(&mut h, self.source.as_bytes());
+        for c in &self.checks {
+            fnv1a(&mut h, &[0xfe]);
+            fnv1a(&mut h, c.symbol.as_bytes());
+            fnv1a(&mut h, &c.offset.to_le_bytes());
+            fnv1a(&mut h, &c.bytes);
+        }
+        h
+    }
+}
+
 impl Workload {
     /// Assembles the workload in the given mode.
     ///
@@ -235,6 +270,31 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
 /// Looks up one workload by its paper row name (case-insensitive).
 pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
     suite(scale).into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod identity_tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_scale_sensitive() {
+        let a = by_name("Wc", Scale::Test).unwrap();
+        let b = by_name("Wc", Scale::Test).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same workload, same fingerprint");
+        let full = by_name("Wc", Scale::Full).unwrap();
+        assert_ne!(a.fingerprint(), full.fingerprint(), "scale changes the fingerprint");
+        let other = by_name("Cmp", Scale::Test).unwrap();
+        assert_ne!(a.fingerprint(), other.fingerprint(), "different workloads differ");
+    }
+
+    #[test]
+    fn scale_ids_round_trip() {
+        for s in [Scale::Test, Scale::Full] {
+            assert_eq!(Scale::parse(s.id()), Some(s));
+        }
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+    }
 }
 
 #[cfg(test)]
