@@ -20,7 +20,7 @@ use ms_isa::{
 use std::collections::BTreeMap;
 
 /// Which binary to produce from a dual-mode source.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AsmMode {
     /// Strip all multiscalar artifacts (the paper's baseline binary).
     Scalar,

@@ -39,7 +39,7 @@
 //! `release` with any number of registers.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod assemble;
 mod disasm;

@@ -5,8 +5,8 @@
 //! * **Table 2** — dynamic instruction counts, scalar vs. multiscalar
 //!   binaries ([`table2`]),
 //! * **Table 3** — scalar IPC, 4-/8-unit speedups and task-prediction
-//!   accuracy with in-order units, 1-way and 2-way ([`table34`] with
-//!   `ooo = false`),
+//!   accuracy with in-order units, 1-way and 2-way ([`evaluate_suite`]
+//!   with `ooo = false`, rendered by [`render_table34`]),
 //! * **Table 4** — the same with out-of-order units (`ooo = true`),
 //! * the **Section 3 cycle-distribution** report ([`cycle_distribution`]),
 //! * **Table 1** — the functional-unit latency configuration
@@ -17,13 +17,19 @@
 //! parallel across design points and memoized in an on-disk cache by
 //! default (`--jobs 1` recovers the serial path; see the `mssweep` CLI
 //! for arbitrary axis sweeps).
+//!
+//! The [`perf`] module (and its `msperf` CLI) measures the *simulator's
+//! own* throughput — wall seconds, simulated cycles/sec — and emits
+//! `BENCH_perf.json`; see `PERFORMANCE.md`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // `JobFailure` deliberately carries the whole failed `Job` (see
 // ms-sweep); each `Result` spans an entire table sweep, so the
 // Err-variant size does not matter.
 #![allow(clippy::result_large_err)]
+
+pub mod perf;
 
 use ms_asm::AsmMode;
 use ms_sweep::{run_sweep, JobFailure, JobKind, SweepOptions, SweepReport, SweepSpec};

@@ -24,7 +24,7 @@
 //! calling task, so recursion and shared helpers are handled.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod summary;
 mod taskcheck;

@@ -21,7 +21,9 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::ring::{Ring, RingMsg};
 use crate::stats::RunStats;
-use ms_isa::{Program, Reg, RegMask, TargetKind, TaskDescriptor, NUM_REGS, STACK_TOP};
+use ms_isa::{
+    PredecodedProgram, Program, Reg, RegMask, TargetKind, TaskDescriptor, NUM_REGS, STACK_TOP,
+};
 use ms_memsys::{Arb, DataBanks, MemBus, Memory};
 use ms_pipeline::{ExitKind, MemPorts, ProcessingUnit};
 use ms_predictor::{DescriptorCache, ReturnAddressStack, TaskPredictor};
@@ -104,7 +106,7 @@ const ARB_OCCUPANCY_SAMPLE_PERIOD: u64 = 16;
 /// ```
 pub struct Processor<S: TraceSink = NullSink> {
     cfg: SimConfig,
-    prog: Program,
+    prog: PredecodedProgram,
     units: Vec<ProcessingUnit>,
     mem: Memory,
     bus: MemBus,
@@ -127,6 +129,15 @@ pub struct Processor<S: TraceSink = NullSink> {
     stats: RunStats,
     retirement_log: Vec<Retirement>,
     last_outcome: HashMap<u32, usize>,
+
+    // Per-cycle scratch buffers, reused across `step` calls so the hot
+    // loop allocates nothing. Each is taken (`std::mem::take`), used,
+    // and put back within one `step`.
+    scratch_arrivals: Vec<(usize, RingMsg)>,
+    scratch_violations: Vec<usize>,
+    scratch_exits: Vec<(usize, ExitKind)>,
+    scratch_arb_stalled: Vec<usize>,
+    scratch_sends: Vec<(Reg, u64)>,
 
     sink: S,
     /// Legacy human-readable event logging to stderr (the old `MS_TRACE`
@@ -184,6 +195,7 @@ impl<S: TraceSink> Processor<S> {
         boot_vals[Reg::SP.index()] = STACK_TOP as u64;
         let units = (0..cfg.units).map(|i| ProcessingUnit::new(i, cfg.unit_config())).collect();
         let entry = prog.entry;
+        let prog = PredecodedProgram::new(prog);
         Ok(Processor {
             units,
             mem,
@@ -210,6 +222,11 @@ impl<S: TraceSink> Processor<S> {
             stats: RunStats::default(),
             retirement_log: Vec::new(),
             last_outcome: HashMap::new(),
+            scratch_arrivals: Vec::new(),
+            scratch_violations: Vec::new(),
+            scratch_exits: Vec::new(),
+            scratch_arb_stalled: Vec::new(),
+            scratch_sends: Vec::new(),
             sink,
             log_events: std::env::var_os("MS_TRACE").is_some(),
             prog,
@@ -246,7 +263,7 @@ impl<S: TraceSink> Processor<S> {
 
     /// The program being executed.
     pub fn program(&self) -> &Program {
-        &self.prog
+        self.prog.program()
     }
 
     /// Architectural register values as of the last retired task
@@ -352,8 +369,11 @@ impl<S: TraceSink> Processor<S> {
         // hold later tasks that still need the value).
         let newest_order = self.active.back().map(|r| r.order);
         let trace = self.log_events;
-        let arrivals = self.ring.step_traced(now, &mut self.sink);
-        for (dest, msg) in arrivals {
+        // Reused scratch buffer (taken so `self.ring.send` stays legal
+        // inside the loop; restored — cleared — at the end of the pass).
+        let mut arrivals = std::mem::take(&mut self.scratch_arrivals);
+        self.ring.step_into(now, &mut arrivals, &mut self.sink);
+        for (dest, msg) in arrivals.drain(..) {
             debug_assert!(msg.hops <= 4 * n, "ring message circulating: {msg:?}");
             match self.unit_order(dest) {
                 Some(order) if order > msg.sender_order => {
@@ -413,10 +433,12 @@ impl<S: TraceSink> Processor<S> {
             }
         }
 
+        self.scratch_arrivals = arrivals;
+
         // 3. Execute, head to tail (deterministic task-order memory refs).
-        let mut violations: Vec<usize> = Vec::new();
-        let mut exits: Vec<(usize, ExitKind)> = Vec::new();
-        let mut arb_stalled: Vec<usize> = Vec::new();
+        let mut violations = std::mem::take(&mut self.scratch_violations);
+        let mut exits = std::mem::take(&mut self.scratch_exits);
+        let mut arb_stalled = std::mem::take(&mut self.scratch_arb_stalled);
         let active_len = self.active.len();
         for pos in 0..active_len {
             let unit_idx = self.active[pos].unit;
@@ -443,10 +465,12 @@ impl<S: TraceSink> Processor<S> {
         self.stats.breakdown.idle += (n - active_len) as u64;
 
         // 4. Collect new ring sends.
+        let mut sends = std::mem::take(&mut self.scratch_sends);
         for pos in 0..self.active.len() {
             let rec_unit = self.active[pos].unit;
             let rec_order = self.active[pos].order;
-            for (reg, val) in self.units[rec_unit].take_sends(now) {
+            self.units[rec_unit].drain_sends_into(now, &mut sends);
+            for (reg, val) in sends.drain(..) {
                 if S::ENABLED {
                     self.sink.event(&TraceEvent::RingSend {
                         cycle: now,
@@ -462,6 +486,7 @@ impl<S: TraceSink> Processor<S> {
                 );
             }
         }
+        self.scratch_sends = sends;
 
         // 5. Record exits, validate successors, process violations.
         for &(pos, exit) in &exits {
@@ -483,7 +508,7 @@ impl<S: TraceSink> Processor<S> {
             }
         };
         // Memory violations: squash the earliest violated task.
-        for v_unit in violations {
+        for v_unit in violations.drain(..) {
             if let Some(pos) = self.active.iter().position(|r| r.unit == v_unit) {
                 let rec = &self.active[pos];
                 let redirect = Pending::Entry {
@@ -506,7 +531,7 @@ impl<S: TraceSink> Processor<S> {
         // ARB-overflow policy: the paper's "simple solution is to free ARB
         // storage by squashing tasks" (vs. the default stall).
         if self.cfg.arb_full_policy == ArbFullPolicy::Squash {
-            for pos in arb_stalled {
+            for pos in arb_stalled.drain(..) {
                 if pos < self.active.len() {
                     let rec = &self.active[pos];
                     let redirect = Pending::Entry {
@@ -517,12 +542,15 @@ impl<S: TraceSink> Processor<S> {
                     consider((pos, redirect, SquashCause::ArbFull), &mut squash);
                 }
             }
-        } else {
-            let _ = arb_stalled;
         }
         if let Some((pos, redirect, cause)) = squash {
             self.squash_from(pos, redirect, cause);
         }
+        exits.clear();
+        arb_stalled.clear();
+        self.scratch_violations = violations;
+        self.scratch_exits = exits;
+        self.scratch_arb_stalled = arb_stalled;
 
         // 6. Retire at the head (one per cycle).
         if let Some(head) = self.active.front() {

@@ -60,20 +60,8 @@ impl Ring {
     /// unit's output queue. Returns `(destination_unit, message)` pairs
     /// arriving this cycle.
     pub fn step(&mut self, now: u64) -> Vec<(usize, RingMsg)> {
-        let n = self.queues.len();
         let mut arrivals = Vec::new();
-        for u in 0..n {
-            for _ in 0..self.width {
-                match self.queues[u].front() {
-                    Some(f) if f.available_from <= now => {
-                        let mut msg = self.queues[u].pop_front().expect("front exists").msg;
-                        msg.hops += 1;
-                        arrivals.push(((u + 1) % n, msg));
-                    }
-                    _ => break,
-                }
-            }
-        }
+        self.step_into(now, &mut arrivals, &mut ms_trace::NullSink);
         arrivals
     }
 
@@ -84,20 +72,43 @@ impl Ring {
         now: u64,
         sink: &mut S,
     ) -> Vec<(usize, RingMsg)> {
-        let arrivals = self.step(now);
-        if S::ENABLED {
-            let n = self.queues.len();
-            for &(dest, ref msg) in &arrivals {
-                sink.event(&ms_trace::TraceEvent::RingHop {
-                    cycle: now,
-                    from: (dest + n - 1) % n,
-                    to: dest,
-                    reg: msg.reg.index() as u8,
-                    hops: msg.hops as u32,
-                });
+        let mut arrivals = Vec::new();
+        self.step_into(now, &mut arrivals, sink);
+        arrivals
+    }
+
+    /// The allocation-free form of [`Ring::step_traced`]: appends this
+    /// cycle's arrivals into a caller-owned buffer (the per-cycle
+    /// processor step reuses one across cycles).
+    pub fn step_into<S: ms_trace::TraceSink>(
+        &mut self,
+        now: u64,
+        arrivals: &mut Vec<(usize, RingMsg)>,
+        sink: &mut S,
+    ) {
+        let n = self.queues.len();
+        for u in 0..n {
+            for _ in 0..self.width {
+                match self.queues[u].front() {
+                    Some(f) if f.available_from <= now => {
+                        let mut msg = self.queues[u].pop_front().expect("front exists").msg;
+                        msg.hops += 1;
+                        let dest = (u + 1) % n;
+                        if S::ENABLED {
+                            sink.event(&ms_trace::TraceEvent::RingHop {
+                                cycle: now,
+                                from: u,
+                                to: dest,
+                                reg: msg.reg.index() as u8,
+                                hops: msg.hops as u32,
+                            });
+                        }
+                        arrivals.push((dest, msg));
+                    }
+                    _ => break,
+                }
             }
         }
-        arrivals
     }
 
     /// Messages currently in flight.

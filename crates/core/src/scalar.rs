@@ -9,14 +9,14 @@
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::stats::RunStats;
-use ms_isa::{Program, Reg, RegMask, NUM_REGS, STACK_TOP};
+use ms_isa::{PredecodedProgram, Program, Reg, RegMask, NUM_REGS, STACK_TOP};
 use ms_memsys::{DataBanks, MemBus, Memory};
 use ms_pipeline::{ExitKind, MemPorts, ProcessingUnit};
 
 /// The scalar baseline.
 pub struct ScalarProcessor {
     cfg: SimConfig,
-    prog: Program,
+    prog: PredecodedProgram,
     unit: ProcessingUnit,
     mem: Memory,
     bus: MemBus,
@@ -42,6 +42,7 @@ impl ScalarProcessor {
         let mut boot = [0u64; NUM_REGS];
         boot[Reg::SP.index()] = STACK_TOP as u64;
         unit.assign_task(prog.entry, RegMask::EMPTY, &boot, RegMask::EMPTY, 0);
+        let prog = PredecodedProgram::new(prog);
         Ok(ScalarProcessor {
             unit,
             mem,
@@ -62,6 +63,11 @@ impl ScalarProcessor {
     /// The architectural memory.
     pub fn memory(&self) -> &Memory {
         &self.mem
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        self.prog.program()
     }
 
     /// Reads a register (after a run, the final architectural value).

@@ -30,11 +30,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod encode;
 mod instr;
 mod op;
+mod predecode;
 mod program;
 mod reg;
 mod tags;
@@ -43,6 +44,7 @@ mod task;
 pub use encode::{decode, encode, DecodeError, EncodeError};
 pub use instr::Instr;
 pub use op::{ExecClass, FpArithKind, FpCmpCond, FuClass, MemWidth, Op, Prec, RegList};
+pub use predecode::{InstrMeta, PredecodedProgram};
 pub use program::{DataSegment, Program, DATA_BASE, STACK_TOP, TEXT_BASE};
 pub use reg::{Reg, NUM_REGS};
 pub use tags::{RegMask, StopCond, TagBits};

@@ -31,6 +31,38 @@
 use crate::mem::Memory;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A deterministic multiplicative hasher for the 4-byte line keys.
+///
+/// SipHash (the `HashMap` default) costs more than the rest of an ARB
+/// probe for keys this small. Line numbers are dense and sequential-ish;
+/// a Fibonacci multiply plus a fold of the high bits spreads them well,
+/// and the simulator never depends on map iteration order (drains sort,
+/// dependence checks walk stages by rank).
+#[derive(Clone, Copy, Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(8) ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        let h = (self.0 ^ v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type Bank = HashMap<u32, Entry, BuildHasherDefault<LineHasher>>;
 
 /// Error returned when a speculative access cannot allocate ARB space.
 ///
@@ -90,7 +122,7 @@ pub struct Arb {
     nstages: usize,
     capacity_per_bank: usize,
     head: usize,
-    banks: Vec<HashMap<u32, Entry>>,
+    banks: Vec<Bank>,
     stats: ArbStats,
 }
 
@@ -116,7 +148,7 @@ impl Arb {
             nstages,
             capacity_per_bank,
             head: 0,
-            banks: (0..nbanks).map(|_| HashMap::new()).collect(),
+            banks: (0..nbanks).map(|_| Bank::default()).collect(),
             stats: ArbStats::default(),
         }
     }
@@ -143,10 +175,15 @@ impl Arb {
         ((line >> 3) as usize) % self.banks.len()
     }
 
-    /// Bytes a size-`n` access at `addr` touches within the line of `a`.
+    /// Bytes a size-`n` access at `addr` touches within each 8-byte line.
+    ///
+    /// Yields `(line, byte_mask, first_byte_offset_within_access)`. An
+    /// access of at most 8 bytes covers at most two lines, so this is a
+    /// fixed-size, allocation-free iterator — it sits on the path of
+    /// every simulated load and store.
     fn split(addr: u32, size: u32) -> impl Iterator<Item = (u32, u8, u32)> {
-        // Yields (line, byte_mask, first_byte_offset_within_access).
-        let mut pieces = Vec::with_capacity(2);
+        let mut pieces = [(0u32, 0u8, 0u32); 2];
+        let mut n = 0;
         let mut a = addr;
         let end = addr + size;
         while a < end {
@@ -157,39 +194,37 @@ impl Arb {
             for b in a..chunk_end {
                 mask |= 1 << (b & 7);
             }
-            pieces.push((line, mask, a - addr));
+            pieces[n] = (line, mask, a - addr);
+            n += 1;
             a = chunk_end;
         }
-        pieces.into_iter()
-    }
-
-    fn note_occupancy(&mut self, bank: usize) {
-        let occ = self.banks[bank].len();
-        if occ > self.stats.peak_bank_occupancy {
-            self.stats.peak_bank_occupancy = occ;
-        }
+        pieces.into_iter().take(n)
     }
 
     /// Ensures an entry exists for `line`, respecting bank capacity.
-    /// The head stage may always allocate.
+    /// The head stage may always allocate. One hash probe on the common
+    /// (not-at-capacity) path.
     fn entry_mut(&mut self, line: u32, stage: usize) -> Result<&mut Entry, ArbFull> {
         let bank = self.bank_of(line);
         let at_head = self.rank(stage) == 0;
-        if !self.banks[bank].contains_key(&line)
-            && self.banks[bank].len() >= self.capacity_per_bank
-            && !at_head
-        {
-            self.stats.full_events += 1;
+        let nstages = self.nstages;
+        let stats = &mut self.stats;
+        let map = &mut self.banks[bank];
+        if !at_head && map.len() >= self.capacity_per_bank && !map.contains_key(&line) {
+            stats.full_events += 1;
             return Err(ArbFull { bank });
         }
-        let nstages = self.nstages;
-        let entry = self.banks[bank].entry(line).or_insert_with(|| Entry {
-            stages: vec![StageState::default(); nstages].into_boxed_slice(),
+        let len_before = map.len();
+        let mut inserted = false;
+        let entry = map.entry(line).or_insert_with(|| {
+            inserted = true;
+            Entry { stages: vec![StageState::default(); nstages].into_boxed_slice() }
         });
-        // NLL: recompute occupancy after the borrow ends.
-        let _ = entry;
-        self.note_occupancy(bank);
-        Ok(self.banks[bank].get_mut(&line).expect("just inserted"))
+        let occ = len_before + inserted as usize;
+        if occ > stats.peak_bank_occupancy {
+            stats.peak_bank_occupancy = occ;
+        }
+        Ok(entry)
     }
 
     /// Performs a speculative load of `size` bytes at `addr` by `stage`.

@@ -64,7 +64,7 @@ impl MemBus {
     }
 
     /// [`MemBus::request`] with trace instrumentation: emits a
-    /// [`TraceEvent::BusRequest`] recording queueing delay and completion.
+    /// [`TraceEvent::BusRequest`](ms_trace::TraceEvent::BusRequest) recording queueing delay and completion.
     pub fn request_traced<S: ms_trace::TraceSink>(
         &mut self,
         now: u64,

@@ -19,7 +19,7 @@
 //! exact. See `DESIGN.md` §3 for the parameters and deviations.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod arb;
 mod banks;

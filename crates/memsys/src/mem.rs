@@ -1,45 +1,101 @@
 //! Sparse byte-addressable backing memory.
-
-use std::collections::HashMap;
+//!
+//! Layout: a two-level page table over the 32-bit address space — a
+//! 1024-entry root indexed by `addr[31:22]`, pointing at 1024-entry
+//! second-level tables indexed by `addr[21:12]`, pointing at 4 KiB
+//! pages. Every access is two array indexes and a bounds check; no
+//! hashing. This replaced a `HashMap<page_number, page>` design whose
+//! per-byte hash lookups dominated the simulator's memory path (each
+//! simulated load hashed up to 8 times).
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const L2_BITS: u32 = 10;
+const L2_FANOUT: usize = 1 << L2_BITS;
+const ROOT_FANOUT: usize = 1 << (32 - PAGE_BITS - L2_BITS);
+
+type Page = Box<[u8; PAGE_SIZE]>;
+
+/// A second-level table: 1024 lazily allocated 4 KiB pages (4 MiB of
+/// address space).
+#[derive(Clone, Debug)]
+struct L2 {
+    pages: [Option<Page>; L2_FANOUT],
+}
+
+impl L2 {
+    fn new() -> Box<L2> {
+        Box::new(L2 { pages: std::array::from_fn(|_| None) })
+    }
+}
+
+#[inline]
+fn root_idx(addr: u32) -> usize {
+    (addr >> (PAGE_BITS + L2_BITS)) as usize
+}
+
+#[inline]
+fn l2_idx(addr: u32) -> usize {
+    ((addr >> PAGE_BITS) as usize) & (L2_FANOUT - 1)
+}
+
+#[inline]
+fn page_off(addr: u32) -> usize {
+    (addr as usize) & (PAGE_SIZE - 1)
+}
 
 /// A sparse, little-endian, byte-addressable memory.
 ///
 /// Pages are allocated on first touch; unwritten bytes read as zero. This
 /// holds only *architectural* (committed) state — speculative stores live
 /// in the [`crate::Arb`] until their task retires.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    root: Vec<Option<Box<L2>>>,
+    resident: usize,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
 }
 
 impl Memory {
     /// An empty memory.
     pub fn new() -> Memory {
-        Memory::default()
+        Memory { root: (0..ROOT_FANOUT).map(|_| None).collect(), resident: 0 }
     }
 
+    #[inline]
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+        self.root[root_idx(addr)].as_ref()?.pages[l2_idx(addr)].as_deref()
     }
 
+    #[inline]
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        let l2 = self.root[root_idx(addr)].get_or_insert_with(L2::new);
+        let slot = &mut l2.pages[l2_idx(addr)];
+        if slot.is_none() {
+            *slot = Some(Box::new([0u8; PAGE_SIZE]));
+            self.resident += 1;
+        }
+        slot.as_mut().expect("just ensured")
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
         match self.page(addr) {
-            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            Some(p) => p[page_off(addr)],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, v: u8) {
-        let off = (addr as usize) & (PAGE_SIZE - 1);
+        let off = page_off(addr);
         self.page_mut(addr)[off] = v;
     }
 
@@ -47,41 +103,82 @@ impl Memory {
     ///
     /// # Panics
     /// Panics if `n > 8`.
+    #[inline]
     pub fn read_le(&self, addr: u32, n: u32) -> u64 {
         assert!(n <= 8, "read_le size {n} > 8");
-        let mut v = 0u64;
-        for i in 0..n {
-            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        let off = page_off(addr);
+        let n = n as usize;
+        if off + n <= PAGE_SIZE {
+            // Within one page: a single table walk.
+            match self.page(addr) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&p[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..n as u32 {
+                v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Writes the low `n <= 8` bytes of `v` little-endian.
     ///
     /// # Panics
     /// Panics if `n > 8`.
+    #[inline]
     pub fn write_le(&mut self, addr: u32, n: u32, v: u64) {
         assert!(n <= 8, "write_le size {n} > 8");
-        for i in 0..n {
-            self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        let off = page_off(addr);
+        let n = n as usize;
+        if off + n <= PAGE_SIZE {
+            self.page_mut(addr)[off..off + n].copy_from_slice(&v.to_le_bytes()[..n]);
+        } else {
+            for i in 0..n as u32 {
+                self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+            }
         }
     }
 
     /// Copies a byte slice into memory at `addr`.
     pub fn write_slice(&mut self, addr: u32, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+        let mut a = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = page_off(a);
+            let take = (PAGE_SIZE - off).min(rest.len());
+            self.page_mut(a)[off..off + take].copy_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            a = a.wrapping_add(take as u32);
         }
     }
 
     /// Reads `len` bytes starting at `addr`.
     pub fn read_vec(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr.wrapping_add(i as u32))).collect()
+        let mut out = Vec::with_capacity(len);
+        let mut a = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let off = page_off(a);
+            let take = (PAGE_SIZE - off).min(remaining);
+            match self.page(a) {
+                Some(p) => out.extend_from_slice(&p[off..off + take]),
+                None => out.resize(out.len() + take, 0),
+            }
+            remaining -= take;
+            a = a.wrapping_add(take as u32);
+        }
+        out
     }
 
     /// Number of resident pages (for diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 }
 
@@ -119,10 +216,39 @@ mod tests {
     }
 
     #[test]
+    fn accesses_span_l2_table_boundaries() {
+        let mut m = Memory::new();
+        // Last bytes of one 4 MiB region, first of the next: two pages
+        // in *different* second-level tables.
+        let addr = (1u32 << 22) - 4;
+        m.write_le(addr, 8, 0xfedc_ba98_7654_3210);
+        assert_eq!(m.read_le(addr, 8), 0xfedc_ba98_7654_3210);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn high_addresses_work() {
+        let mut m = Memory::new();
+        m.write_le(u32::MAX - 8, 8, 42);
+        assert_eq!(m.read_le(u32::MAX - 8, 8), 42);
+    }
+
+    #[test]
     fn slices_round_trip() {
         let mut m = Memory::new();
         m.write_slice(42, b"hello");
         assert_eq!(m.read_vec(42, 5), b"hello");
+    }
+
+    #[test]
+    fn slices_round_trip_across_pages() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE as u32 * 3 - 5;
+        let data: Vec<u8> = (0..64).collect();
+        m.write_slice(addr, &data);
+        assert_eq!(m.read_vec(addr, 64), data);
+        // Sparse read: a hole between two written pages reads as zero.
+        assert_eq!(m.read_vec(addr - 10, 10), vec![0; 10]);
     }
 
     #[test]

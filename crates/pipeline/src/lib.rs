@@ -16,7 +16,7 @@
 //! * [`ProcessingUnit`] — the pipeline itself.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod exec;
 mod fu;

@@ -23,7 +23,7 @@
 use crate::exec::{execute, extend_load, MemRequest};
 use crate::fu::{FuPool, LatencyTable};
 use crate::regfile::{ReadStatus, RegFile};
-use ms_isa::{Instr, Op, Program, Reg, RegMask, StopCond, NUM_REGS};
+use ms_isa::{Instr, InstrMeta, Op, PredecodedProgram, Reg, RegMask, StopCond, NUM_REGS};
 use ms_memsys::{Arb, DataBanks, ICache, ICacheConfig, MemBus, Memory};
 use ms_trace::{NullSink, StallReason, TraceEvent, TraceSink};
 use std::collections::VecDeque;
@@ -169,6 +169,9 @@ struct Slot {
     seq: u64,
     pc: u32,
     instr: Instr,
+    /// Predecoded classification of `instr` (carried from fetch so the
+    /// issue and hazard logic never re-match on the `Op`).
+    meta: InstrMeta,
     ready_from: u64,
     /// Where fetch continued after this instruction (`None`: fetch
     /// stalled awaiting this instruction's resolution).
@@ -401,6 +404,14 @@ impl ProcessingUnit {
     /// Drains ring sends due at or before `now`.
     pub fn take_sends(&mut self, now: u64) -> Vec<(Reg, u64)> {
         let mut due = Vec::new();
+        self.drain_sends_into(now, &mut due);
+        due
+    }
+
+    /// Like [`ProcessingUnit::take_sends`], but appends into a
+    /// caller-owned buffer — the allocation-free form the per-cycle
+    /// processor step uses.
+    pub fn drain_sends_into(&mut self, now: u64, due: &mut Vec<(Reg, u64)>) {
         self.pending_sends.retain(|&(cycle, r, v)| {
             if cycle <= now {
                 due.push((r, v));
@@ -409,7 +420,6 @@ impl ProcessingUnit {
                 true
             }
         });
-        due
     }
 
     fn schedule_send(&mut self, cycle: u64, r: Reg, v: u64) {
@@ -433,9 +443,14 @@ impl ProcessingUnit {
         self.pending_sends.push((cycle, r, v));
     }
 
-    /// Runs one cycle. `prog` supplies instruction fetch; `ports` supplies
-    /// the shared memory system.
-    pub fn tick(&mut self, now: u64, prog: &Program, ports: &mut MemPorts<'_>) -> TickOutput {
+    /// Runs one cycle. `prog` supplies (predecoded) instruction fetch;
+    /// `ports` supplies the shared memory system.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        prog: &PredecodedProgram,
+        ports: &mut MemPorts<'_>,
+    ) -> TickOutput {
         self.tick_traced(now, prog, ports, &mut NullSink)
     }
 
@@ -446,7 +461,7 @@ impl ProcessingUnit {
     pub fn tick_traced<S: TraceSink>(
         &mut self,
         now: u64,
-        prog: &Program,
+        prog: &PredecodedProgram,
         ports: &mut MemPorts<'_>,
         sink: &mut S,
     ) -> TickOutput {
@@ -548,19 +563,22 @@ impl ProcessingUnit {
         &mut self,
         idx: usize,
         now: u64,
-        _prog: &Program,
+        _prog: &PredecodedProgram,
         ports: &mut MemPorts<'_>,
         out: &mut TickOutput,
         sink: &mut S,
     ) -> Result<(), Blocked> {
-        let slot = self.buf[idx];
-        if slot.ready_from > now {
+        // Reject via a borrow first: the blocked checks below run every
+        // stall cycle, and copying the whole `Slot` out just to read a
+        // few fields showed up in profiles.
+        let slot_ref = &self.buf[idx];
+        if slot_ref.ready_from > now {
             return Err(Blocked::NotDecoded);
         }
         // Operand readiness.
         let mut remote = false;
         let mut local = false;
-        for r in slot.instr.op.uses().iter() {
+        for r in slot_ref.meta.uses.iter() {
             match self.regs.status(r, now) {
                 ReadStatus::Ready => {}
                 ReadStatus::WaitLocal => local = true,
@@ -575,21 +593,20 @@ impl ProcessingUnit {
         }
         // Out-of-order hazards against older, unissued instructions.
         if self.cfg.ooo && idx > 0 {
-            let me = &slot.instr.op;
-            let my_def = me.def();
-            let my_is_mem = me.is_load() || me.is_store();
+            let me = &self.buf[idx].meta;
+            let my_def = me.def;
+            let my_is_mem = me.is_load || me.is_store;
             for j in 0..idx {
-                let older = &self.buf[j].instr.op;
-                if older.is_control() {
+                let older = &self.buf[j].meta;
+                if older.is_control {
                     return Err(Blocked::Hazard);
                 }
-                if my_is_mem && (older.is_load() || older.is_store()) {
+                if my_is_mem && (older.is_load || older.is_store) {
                     return Err(Blocked::Hazard);
                 }
-                let older_def = older.def();
                 // RAW: older defines one of my sources.
-                if let Some(d) = older_def {
-                    if me.uses().iter().any(|u| u == d) {
+                if let Some(d) = older.def {
+                    if me.uses_mask.contains(d) {
                         return Err(Blocked::Hazard);
                     }
                     // WAW.
@@ -599,21 +616,24 @@ impl ProcessingUnit {
                 }
                 // WAR: older reads my destination.
                 if let Some(d) = my_def {
-                    if !d.is_zero() && older.uses().iter().any(|u| u == d) {
+                    if !d.is_zero() && older.uses_mask.contains(d) {
                         return Err(Blocked::Hazard);
                     }
                 }
             }
         }
-        let fu_class = slot.instr.op.fu_class();
+        let fu_class = self.buf[idx].meta.fu_class;
         if !self.fu.available(fu_class) {
             return Err(Blocked::Fu);
         }
+        // Every reject path is behind us (`issue_mem` can still fail, but
+        // needs the copy anyway): take the slot by value.
+        let slot = self.buf[idx];
 
         // Execute (functional) and derive timing.
         let regs = &self.regs;
         let outcome = execute(&slot.instr, slot.pc, |r| regs.read(r));
-        let lat = self.cfg.latencies.latency(slot.instr.op.exec_class());
+        let lat = self.cfg.latencies.latency(slot.meta.exec_class);
         let mut done = now + lat;
 
         if let Some(mem) = outcome.mem {
@@ -766,7 +786,7 @@ impl ProcessingUnit {
     fn fetch_phase<S: TraceSink>(
         &mut self,
         now: u64,
-        prog: &Program,
+        prog: &PredecodedProgram,
         ports: &mut MemPorts<'_>,
         sink: &mut S,
     ) {
@@ -791,7 +811,7 @@ impl ProcessingUnit {
                 break;
             }
             let pc = self.fetch_pc;
-            let Some(instr) = prog.instr_at(pc) else {
+            let Some((instr, meta)) = prog.fetch(pc) else {
                 self.fault = Some(format!(
                     "unit {}: instruction fetch outside text segment at {pc:#x}",
                     self.id
@@ -802,7 +822,7 @@ impl ProcessingUnit {
             let seq = self.next_seq;
             self.next_seq += 1;
             let ready_from = now + 2; // IF at `now`, ID at now+1, issue-eligible next
-            let mut slot = Slot { seq, pc, instr, ready_from, next_fetched: None };
+            let mut slot = Slot { seq, pc, instr, meta, ready_from, next_fetched: None };
 
             match instr.op {
                 Op::Halt => {
@@ -917,7 +937,7 @@ mod tests {
         mem: Memory,
         bus: MemBus,
         banks: DataBanks,
-        prog: Program,
+        prog: PredecodedProgram,
         now: u64,
     }
 
@@ -927,7 +947,7 @@ mod tests {
         }
 
         fn build(src: &str, cfg: UnitConfig) -> Rig {
-            let prog = assemble(src, AsmMode::Scalar).expect("assemble");
+            let prog = PredecodedProgram::new(assemble(src, AsmMode::Scalar).expect("assemble"));
             let mut mem = Memory::new();
             for seg in &prog.data {
                 mem.write_slice(seg.base, &seg.bytes);
@@ -1121,13 +1141,14 @@ mod multiscalar_unit_tests {
         bus: MemBus,
         banks: DataBanks,
         arb: Arb,
-        prog: Program,
+        prog: PredecodedProgram,
         now: u64,
     }
 
     impl MsRig {
         fn new(src: &str, cfg: UnitConfig) -> MsRig {
-            let prog = assemble(src, AsmMode::Multiscalar).expect("assemble");
+            let prog =
+                PredecodedProgram::new(assemble(src, AsmMode::Multiscalar).expect("assemble"));
             let mut mem = Memory::new();
             for seg in &prog.data {
                 mem.write_slice(seg.base, &seg.bytes);

@@ -19,7 +19,7 @@
 //! pointer.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use ms_isa::MAX_TARGETS;
 

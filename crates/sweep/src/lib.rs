@@ -7,7 +7,7 @@
 //! results perfectly cacheable. This crate turns that observation into
 //! infrastructure:
 //!
-//! 1. a declarative [`SweepSpec`] expands workload × [`SimConfig`] axes
+//! 1. a declarative [`SweepSpec`] expands workload × [`SimConfig`](multiscalar::SimConfig) axes
 //!    into a flat list of independent [`Job`]s,
 //! 2. an execution engine ([`run_sweep`] / [`run_jobs`]) runs them on a
 //!    `std::thread` worker pool sized by [`SweepOptions::jobs`], with
@@ -15,7 +15,7 @@
 //!    to a serial (`jobs = 1`) run,
 //! 3. an on-disk content-addressed [`SweepCache`] memoizes each point
 //!    under a stable key of (workload fingerprint, full
-//!    [`SimConfig::stable_key`], crate version), so re-runs and resumed
+//!    [`SimConfig::stable_key`](multiscalar::SimConfig::stable_key), crate version), so re-runs and resumed
 //!    sweeps only execute missing points, and
 //! 4. [`artifacts`] renders the outcome as deterministic JSON and CSV,
 //!    with optional per-job [`ms_trace::MetricsReport`]s.
@@ -28,7 +28,7 @@
 //! and `ms-bench`'s Table 3/4 regeneration runs on it.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // A `JobFailure` carries the full `Job` (including its ~200-byte
 // `SimConfig`) so failures stay self-describing. Each `Result` here
 // corresponds to an entire simulation run, so the Err-variant size is

@@ -187,7 +187,7 @@ fn build(vals: &[u64; 32]) -> RunStats {
     s
 }
 
-/// `RunStats` as `name value` lines in [`FIELDS`] order.
+/// `RunStats` as `name value` lines in a fixed field order (the same order `stats_to_json` uses).
 pub fn stats_to_kv(s: &RunStats) -> String {
     let vals = values(s);
     let mut out = String::new();

@@ -19,7 +19,7 @@
 //!   *functionally validated* on every benchmark, not just timed.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cmp;
 mod compress;
@@ -182,10 +182,26 @@ impl Workload {
 impl Workload {
     /// Assembles the workload in the given mode.
     ///
+    /// Results are memoized process-wide, keyed by the workload
+    /// [`fingerprint`](Workload::fingerprint) and mode: sweeps run the
+    /// same program under dozens of machine configurations, and
+    /// re-parsing the source for each design point costs more than the
+    /// cheap [`Program`] clone a cache hit pays.
+    ///
     /// # Errors
     /// Returns the underlying assembler error.
     pub fn assemble(&self, mode: AsmMode) -> Result<Program, WorkloadError> {
-        Ok(assemble(&self.source, mode)?)
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<(u64, AsmMode), Program>>> = OnceLock::new();
+        let key = (self.fingerprint(), mode);
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(prog) = cache.lock().unwrap().get(&key) {
+            return Ok(prog.clone());
+        }
+        let prog = assemble(&self.source, mode)?;
+        cache.lock().unwrap().insert(key, prog.clone());
+        Ok(prog)
     }
 
     fn check_memory(&self, mem: &ms_memsys::Memory, prog: &Program) -> Result<(), WorkloadError> {
@@ -213,9 +229,9 @@ impl Workload {
     /// Propagates assembly/simulation errors and validation mismatches.
     pub fn run_scalar(&self, cfg: SimConfig) -> Result<RunStats, WorkloadError> {
         let prog = self.assemble(AsmMode::Scalar)?;
-        let mut p = ScalarProcessor::new(prog.clone(), cfg)?;
+        let mut p = ScalarProcessor::new(prog, cfg)?;
         let stats = p.run()?;
-        self.check_memory(p.memory(), &prog)?;
+        self.check_memory(p.memory(), p.program())?;
         Ok(stats)
     }
 
@@ -226,9 +242,9 @@ impl Workload {
     /// Propagates assembly/simulation errors and validation mismatches.
     pub fn run_multiscalar(&self, cfg: SimConfig) -> Result<RunStats, WorkloadError> {
         let prog = self.assemble(AsmMode::Multiscalar)?;
-        let mut p = Processor::new(prog.clone(), cfg)?;
+        let mut p = Processor::new(prog, cfg)?;
         let stats = p.run()?;
-        self.check_memory(p.memory(), &prog)?;
+        self.check_memory(p.memory(), p.program())?;
         Ok(stats)
     }
 
@@ -244,9 +260,9 @@ impl Workload {
         sink: S,
     ) -> Result<(RunStats, S), WorkloadError> {
         let prog = self.assemble(AsmMode::Multiscalar)?;
-        let mut p = Processor::with_sink(prog.clone(), cfg, sink)?;
+        let mut p = Processor::with_sink(prog, cfg, sink)?;
         let stats = p.run()?;
-        self.check_memory(p.memory(), &prog)?;
+        self.check_memory(p.memory(), p.program())?;
         Ok((stats, p.into_sink()))
     }
 }
