@@ -38,6 +38,11 @@ pub struct SimConfig {
     pub arb_capacity: usize,
     /// Safety bound on simulated cycles.
     pub max_cycles: u64,
+    /// Forward-progress watchdog: if no task retires for this many
+    /// cycles, the run fails fast with [`crate::SimError::NoProgress`]
+    /// (carrying a diagnostic snapshot) instead of running to the cycle
+    /// bound. `None` disables the watchdog.
+    pub watchdog: Option<u64>,
     /// Ring hop latency in cycles (paper: 1).
     pub ring_hop_latency: u64,
     /// Ring width override; `None` matches the issue width (paper).
@@ -67,6 +72,7 @@ impl SimConfig {
             bus: BusConfig::default(),
             arb_capacity: 256,
             max_cycles: 2_000_000_000,
+            watchdog: Some(10_000_000),
             ring_hop_latency: 1,
             ring_width: None,
             predictor: crate::PredictorKind::Pas,
@@ -99,6 +105,14 @@ impl SimConfig {
     /// Overrides the cycle safety bound (builder style).
     pub fn max_cycles(mut self, cycles: u64) -> SimConfig {
         self.max_cycles = cycles;
+        self
+    }
+
+    /// Sets the forward-progress watchdog window, or disables it with
+    /// `None` (builder style). The default is 10M cycles: far above any
+    /// legitimate inter-retirement gap, far below the cycle bound.
+    pub fn watchdog(mut self, window: Option<u64>) -> SimConfig {
+        self.watchdog = window;
         self
     }
 
@@ -153,12 +167,16 @@ impl SimConfig {
             Some(w) => w.to_string(),
             None => "issue".to_string(),
         };
+        let watchdog = match self.watchdog {
+            Some(w) => w.to_string(),
+            None => "off".to_string(),
+        };
         let l = &self.latencies;
         format!(
-            "simconfig v1;units={};issue={};ooo={};window={};\
+            "simconfig v2;units={};issue={};ooo={};window={};\
              lat={},{},{},{},{},{},{},{},{},{},{},{};\
              icache={},{},{},{};banks={},{},{},{},{};bus={},{};\
-             arb_capacity={};max_cycles={};ring_hop={};ring_width={};\
+             arb_capacity={};max_cycles={};watchdog={};ring_hop={};ring_width={};\
              predictor={};arb_full={}",
             self.units,
             self.issue_width,
@@ -189,6 +207,7 @@ impl SimConfig {
             self.bus.extra_beat,
             self.arb_capacity,
             self.max_cycles,
+            watchdog,
             self.ring_hop_latency,
             ring_width,
             predictor,
@@ -246,6 +265,8 @@ mod tests {
             base.issue(2),
             base.out_of_order(true),
             base.max_cycles(7),
+            base.watchdog(None),
+            base.watchdog(Some(5_000)),
             base.ring_latency(2),
             base.ring_width(4),
             base.predictor(crate::PredictorKind::LastOutcome),
@@ -255,7 +276,7 @@ mod tests {
         ];
         let base_key = base.stable_key();
         assert_eq!(base_key, SimConfig::multiscalar(8).stable_key());
-        assert!(base_key.starts_with("simconfig v1;"));
+        assert!(base_key.starts_with("simconfig v2;"));
         for v in &variants {
             assert_ne!(v.stable_key(), base_key, "{v:?}");
         }

@@ -1,5 +1,6 @@
 //! Simulation errors.
 
+use crate::diag::DiagnosticSnapshot;
 use std::fmt;
 
 /// A fatal simulation error.
@@ -17,6 +18,25 @@ pub enum SimError {
     Timeout {
         /// The bound that was hit.
         cycles: u64,
+        /// Machine state at the bound (`None` for the scalar baseline,
+        /// which has no multiscalar state to report).
+        snapshot: Option<Box<DiagnosticSnapshot>>,
+    },
+    /// No task retired for a full watchdog window — the machine is
+    /// livelocked or deadlocked (see [`crate::SimConfig::watchdog`]).
+    NoProgress {
+        /// The watchdog window that elapsed without a retirement.
+        window: u64,
+        /// Machine state when the watchdog fired.
+        snapshot: Box<DiagnosticSnapshot>,
+    },
+    /// An internal simulator invariant broke. Carries the machine state
+    /// instead of panicking, so the break is diagnosable post-mortem.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+        /// Machine state at the break.
+        snapshot: Box<DiagnosticSnapshot>,
     },
     /// The program is malformed (e.g. no instructions, bad entry).
     BadProgram(String),
@@ -30,6 +50,19 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// The diagnostic snapshot attached to this error, if any.
+    pub fn snapshot(&self) -> Option<&DiagnosticSnapshot> {
+        match self {
+            SimError::Timeout { snapshot, .. } => snapshot.as_deref(),
+            SimError::NoProgress { snapshot, .. } | SimError::Internal { snapshot, .. } => {
+                Some(snapshot)
+            }
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -40,7 +73,19 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Fault(msg) => write!(f, "processing unit fault: {msg}"),
-            SimError::Timeout { cycles } => write!(f, "simulation exceeded {cycles} cycles"),
+            SimError::Timeout { cycles, snapshot } => {
+                write!(f, "simulation exceeded {cycles} cycles")?;
+                if let Some(s) = snapshot {
+                    write!(f, " ({})", s.summary())?;
+                }
+                Ok(())
+            }
+            SimError::NoProgress { window, snapshot } => {
+                write!(f, "no task retired for {window} cycles ({})", snapshot.summary())
+            }
+            SimError::Internal { what, snapshot } => {
+                write!(f, "internal invariant broke: {what} ({})", snapshot.summary())
+            }
             SimError::BadProgram(msg) => write!(f, "malformed program: {msg}"),
             SimError::ExitNotInTargets { task, exit } => {
                 write!(

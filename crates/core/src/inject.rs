@@ -1,0 +1,128 @@
+//! Fault-injection hooks.
+//!
+//! Chaos testing (the `ms-chaos` crate) perturbs the *microarchitecture*
+//! — predictions, ring timing, ARB capacity, squash decisions — while the
+//! sequential-semantics oracle checks that the *architectural* result is
+//! unchanged (the paper's central invariant: speculation machinery must be
+//! functionally invisible).
+//!
+//! The hook surface follows the [`ms_trace::TraceSink`] pattern: the
+//! processor is generic over a [`FaultInjector`], every call site is
+//! guarded by `if F::ENABLED`, and the default [`NoFaults`] injector has
+//! `ENABLED = false`, so in ordinary builds the hooks monomorphize away
+//! entirely — fault injection is provably zero-cost when disabled.
+//!
+//! Injectors may only perturb quantities the machine is already built to
+//! recover from; see `DESIGN.md` §9 for what a plan may and may not touch.
+
+/// A source of deterministic microarchitectural perturbations.
+///
+/// All hooks default to "no perturbation", so an injector only overrides
+/// the hooks it uses. Implementations must be deterministic functions of
+/// their inputs (plus any internal seed) — the chaos oracle re-runs plans
+/// by seed and expects byte-identical behaviour.
+pub trait FaultInjector {
+    /// Whether the processor's hook sites are live. [`NoFaults`] sets
+    /// this to `false`, compiling every hook out.
+    const ENABLED: bool = true;
+
+    /// Called when the sequencer predicts the successor of `task_entry`
+    /// (assignment order `order`, i.e. the order the *new* task would
+    /// get). Return the target index to use instead; out-of-range values
+    /// are clamped by the caller. Returning `predicted` injects nothing.
+    fn override_prediction(
+        &mut self,
+        _now: u64,
+        _order: u64,
+        _task_entry: u32,
+        _ntargets: usize,
+        predicted: usize,
+    ) -> usize {
+        predicted
+    }
+
+    /// Extra hop delay (in cycles) for a message leaving `unit` at
+    /// `now`. Zero injects nothing.
+    fn ring_extra_delay(&mut self, _now: u64, _unit: usize) -> u64 {
+        0
+    }
+
+    /// Temporary cap on ring messages-per-hop-per-cycle (back-pressure
+    /// window). `None` injects nothing; caps are clamped to at least 1 so
+    /// forward progress is preserved.
+    fn ring_width_cap(&mut self, _now: u64) -> Option<usize> {
+        None
+    }
+
+    /// Temporary cap on ARB entries per bank (capacity-pressure window).
+    /// `None` injects nothing; caps are clamped to at least 1, and the
+    /// head stage may always allocate regardless, so the Stall overflow
+    /// policy cannot deadlock.
+    fn arb_capacity_cap(&mut self, _now: u64) -> Option<usize> {
+        None
+    }
+
+    /// Request a spurious squash of the task at position head+`k` this
+    /// cycle (`active_len` tasks are in flight). `None` injects nothing.
+    /// The caller ignores requests with `k == 0` (the head is never
+    /// squashed — paper Section 2.3) or `k >= active_len`.
+    fn spurious_squash(&mut self, _now: u64, _active_len: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// The no-op injector: every hook compiles away (`ENABLED = false`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding impl so `&mut I` can be handed to a processor.
+impl<I: FaultInjector> FaultInjector for &mut I {
+    const ENABLED: bool = I::ENABLED;
+
+    fn override_prediction(
+        &mut self,
+        now: u64,
+        order: u64,
+        task_entry: u32,
+        ntargets: usize,
+        predicted: usize,
+    ) -> usize {
+        (**self).override_prediction(now, order, task_entry, ntargets, predicted)
+    }
+
+    fn ring_extra_delay(&mut self, now: u64, unit: usize) -> u64 {
+        (**self).ring_extra_delay(now, unit)
+    }
+
+    fn ring_width_cap(&mut self, now: u64) -> Option<usize> {
+        (**self).ring_width_cap(now)
+    }
+
+    fn arb_capacity_cap(&mut self, now: u64) -> Option<usize> {
+        (**self).arb_capacity_cap(now)
+    }
+
+    fn spurious_squash(&mut self, now: u64, active_len: usize) -> Option<usize> {
+        (**self).spurious_squash(now, active_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_disabled_and_inert() {
+        const { assert!(!NoFaults::ENABLED) };
+        let mut f = NoFaults;
+        assert_eq!(f.override_prediction(0, 0, 0x100, 3, 1), 1);
+        assert_eq!(f.ring_extra_delay(0, 0), 0);
+        assert_eq!(f.ring_width_cap(0), None);
+        assert_eq!(f.arb_capacity_cap(0), None);
+        assert_eq!(f.spurious_squash(0, 4), None);
+    }
+}

@@ -17,6 +17,11 @@
 //!   Tables 3 and 4.
 //! * [`RunStats`]/[`CycleBreakdown`] — results, including the cycle
 //!   distribution taxonomy of Section 3.
+//! * [`FaultInjector`]/[`DiagnosticSnapshot`] — chaos-testing hooks that
+//!   perturb the microarchitecture without changing architectural
+//!   results, and the structured machine-state dump attached to
+//!   [`SimError::Timeout`], [`SimError::NoProgress`] and
+//!   [`SimError::Internal`] failures (see the `ms-chaos` crate).
 //!
 //! ## Quick start
 //!
@@ -62,7 +67,9 @@
 
 mod ablation;
 mod config;
+mod diag;
 mod error;
+mod inject;
 mod processor;
 mod ring;
 mod scalar;
@@ -70,7 +77,9 @@ mod stats;
 
 pub use ablation::{ArbFullPolicy, PredictorKind};
 pub use config::SimConfig;
+pub use diag::{DiagnosticSnapshot, HeadDiag, UnitDiag};
 pub use error::SimError;
+pub use inject::{FaultInjector, NoFaults};
 pub use processor::{Processor, Retirement};
 pub use ring::{Ring, RingMsg};
 pub use scalar::ScalarProcessor;
@@ -258,6 +267,50 @@ LOOP:
         let ms = assemble(src, AsmMode::Multiscalar).unwrap();
         let mut p = Processor::new(ms, SimConfig::multiscalar(2).max_cycles(10_000)).unwrap();
         assert!(matches!(p.run(), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
+    fn watchdog_reports_livelock_with_snapshot() {
+        // The task never reaches its stop instruction (an intra-task
+        // infinite loop), so the head never completes and nothing ever
+        // retires: a livelock. The watchdog must fail fast with a
+        // populated snapshot instead of grinding to the cycle bound.
+        let src = "
+main:
+.task targets=DONE create=$2
+SPIN:
+    addiu $2, $2, 1
+    b SPIN
+.task targets=halt create=
+DONE:
+    halt
+";
+        let ms = assemble(src, AsmMode::Multiscalar).unwrap();
+        let mut p = Processor::new(ms, SimConfig::multiscalar(2).watchdog(Some(50_000))).unwrap();
+        match p.run() {
+            Err(SimError::NoProgress { window, snapshot }) => {
+                assert_eq!(window, 50_000);
+                assert_eq!(snapshot.tasks_retired, 0);
+                let head = snapshot.head.expect("a task is in flight");
+                assert_eq!(head.order, 0);
+                assert!(head.age > 49_000, "{}", head.age);
+                assert!(!snapshot.units.is_empty());
+                let text = snapshot.to_string();
+                assert!(text.contains("head: task #0"), "{text}");
+                assert!(snapshot.to_json().starts_with("{\"cycle\":"), "{}", snapshot.to_json());
+            }
+            other => panic!("expected NoProgress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_spares_healthy_runs() {
+        // A tight window must not fire as long as tasks keep retiring.
+        let prog = assemble(COUNT_LOOP, AsmMode::Multiscalar).unwrap();
+        let mut p = Processor::new(prog, SimConfig::multiscalar(4).watchdog(Some(1_000))).unwrap();
+        let stats = p.run().expect("healthy run must not trip the watchdog");
+        assert_eq!(p.final_regs().unwrap()[2], 100);
+        assert_eq!(stats.tasks_retired, 103);
     }
 
     #[test]

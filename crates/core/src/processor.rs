@@ -18,7 +18,9 @@
 
 use crate::ablation::{ArbFullPolicy, PredictorKind};
 use crate::config::SimConfig;
+use crate::diag::{DiagnosticSnapshot, HeadDiag, UnitDiag};
 use crate::error::SimError;
+use crate::inject::{FaultInjector, NoFaults};
 use crate::ring::{Ring, RingMsg};
 use crate::stats::RunStats;
 use ms_isa::{
@@ -48,6 +50,11 @@ struct TaskRecord {
     /// The speculative history shift made when this task was chosen:
     /// `(predecessor entry, pre-shift history, chosen index)`.
     hist: Option<(u32, u16, usize)>,
+    /// Cycle at which the task was assigned (diagnostic snapshots).
+    assigned_at: u64,
+    /// The task's create mask, kept for stale-message detection on ring
+    /// delivery (a message must not skip past a producer of its register).
+    create: RegMask,
 }
 
 /// What the sequencer will assign next.
@@ -74,6 +81,8 @@ enum SquashCause {
     Control,
     Memory,
     ArbFull,
+    /// Spurious squash injected by a fault plan (chaos testing).
+    Chaos,
 }
 
 impl SquashCause {
@@ -82,6 +91,7 @@ impl SquashCause {
             SquashCause::Control => SquashKind::Control,
             SquashCause::Memory => SquashKind::Memory,
             SquashCause::ArbFull => SquashKind::ArbFull,
+            SquashCause::Chaos => SquashKind::Chaos,
         }
     }
 }
@@ -104,7 +114,7 @@ const ARB_OCCUPANCY_SAMPLE_PERIOD: u64 = 16;
 /// # Ok(())
 /// # }
 /// ```
-pub struct Processor<S: TraceSink = NullSink> {
+pub struct Processor<S: TraceSink = NullSink, F: FaultInjector = NoFaults> {
     cfg: SimConfig,
     prog: PredecodedProgram,
     units: Vec<ProcessingUnit>,
@@ -120,12 +130,24 @@ pub struct Processor<S: TraceSink = NullSink> {
     active: VecDeque<TaskRecord>,
     next_unit: usize,
     next_order: u64,
+    /// Per register: 1 + the dispatch order of the latest *retired* task
+    /// whose create mask contains it (0 = none yet). A ring message is
+    /// architecturally stale once a later producer has retired; a
+    /// resident producer kills passing messages itself (create-mask kill
+    /// in `receive`), but a producer that has left its unit cannot, so
+    /// delivery checks this instead. Without it, a long-delayed message
+    /// can outlive the producer's residency and deliver a stale value to
+    /// a re-assigned unit.
+    retired_creates: [u64; NUM_REGS],
     pending: Pending,
     seq_ready_at: u64,
     last_retired_unit: Option<usize>,
     boot_vals: [u64; NUM_REGS],
     halted: bool,
     now: u64,
+    /// Cycle of the most recent retirement (0 before any); feeds the
+    /// forward-progress watchdog and diagnostic snapshots.
+    last_retire_cycle: u64,
     stats: RunStats,
     retirement_log: Vec<Retirement>,
     last_outcome: HashMap<u32, usize>,
@@ -140,6 +162,9 @@ pub struct Processor<S: TraceSink = NullSink> {
     scratch_sends: Vec<(Reg, u64)>,
 
     sink: S,
+    /// Fault injector. With [`NoFaults`] (the default) every hook site
+    /// compiles away, exactly like [`NullSink`] tracing.
+    inject: F,
     /// Legacy human-readable event logging to stderr (the old `MS_TRACE`
     /// behaviour), resolved once at construction instead of per cycle.
     log_events: bool,
@@ -178,6 +203,39 @@ impl<S: TraceSink> Processor<S> {
     /// Returns [`SimError::BadProgram`] if the program has no text or no
     /// task descriptor at its entry point.
     pub fn with_sink(prog: Program, cfg: SimConfig, sink: S) -> Result<Processor<S>, SimError> {
+        Processor::with_sink_and_injector(prog, cfg, sink, NoFaults)
+    }
+}
+
+impl<F: FaultInjector> Processor<NullSink, F> {
+    /// Builds an untraced processor whose microarchitecture is perturbed
+    /// by `injector` (chaos testing). Architectural results must be
+    /// unaffected — see [`FaultInjector`].
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadProgram`] if the program has no text or no
+    /// task descriptor at its entry point.
+    pub fn with_injector(
+        prog: Program,
+        cfg: SimConfig,
+        injector: F,
+    ) -> Result<Processor<NullSink, F>, SimError> {
+        Processor::with_sink_and_injector(prog, cfg, NullSink, injector)
+    }
+}
+
+impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
+    /// Builds a processor with both a trace sink and a fault injector.
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadProgram`] if the program has no text or no
+    /// task descriptor at its entry point.
+    pub fn with_sink_and_injector(
+        prog: Program,
+        cfg: SimConfig,
+        sink: S,
+        injector: F,
+    ) -> Result<Processor<S, F>, SimError> {
         if prog.text.is_empty() {
             return Err(SimError::BadProgram("empty text segment".into()));
         }
@@ -213,12 +271,14 @@ impl<S: TraceSink> Processor<S> {
             active: VecDeque::new(),
             next_unit: 0,
             next_order: 0,
+            retired_creates: [0; NUM_REGS],
             pending: Pending::Entry { pc: entry, by_prediction: false, choice: None },
             seq_ready_at: 0,
             last_retired_unit: None,
             boot_vals,
             halted: false,
             now: 0,
+            last_retire_cycle: 0,
             stats: RunStats::default(),
             retirement_log: Vec::new(),
             last_outcome: HashMap::new(),
@@ -228,6 +288,7 @@ impl<S: TraceSink> Processor<S> {
             scratch_arb_stalled: Vec::new(),
             scratch_sends: Vec::new(),
             sink,
+            inject: injector,
             log_events: std::env::var_os("MS_TRACE").is_some(),
             prog,
             cfg,
@@ -288,16 +349,76 @@ impl<S: TraceSink> Processor<S> {
     /// Runs to completion.
     ///
     /// # Errors
-    /// Propagates unit faults, annotation errors and the cycle bound.
+    /// Propagates unit faults, annotation errors, the cycle bound
+    /// ([`SimError::Timeout`]) and the forward-progress watchdog
+    /// ([`SimError::NoProgress`]); the latter two carry a
+    /// [`DiagnosticSnapshot`] of the stuck machine.
     pub fn run(&mut self) -> Result<RunStats, SimError> {
         while !(self.halted && self.active.is_empty()) {
             if self.now >= self.cfg.max_cycles {
-                return Err(SimError::Timeout { cycles: self.cfg.max_cycles });
+                return Err(SimError::Timeout {
+                    cycles: self.cfg.max_cycles,
+                    snapshot: Some(Box::new(self.snapshot())),
+                });
+            }
+            if let Some(window) = self.cfg.watchdog {
+                if self.now - self.last_retire_cycle >= window {
+                    return Err(SimError::NoProgress {
+                        window,
+                        snapshot: Box::new(self.snapshot()),
+                    });
+                }
             }
             self.step()?;
         }
         self.finalize_stats();
         Ok(self.stats.clone())
+    }
+
+    /// Captures the current microarchitectural state for diagnosis: the
+    /// payload of [`SimError::Timeout`], [`SimError::NoProgress`] and
+    /// [`SimError::Internal`], also callable directly from debug tools.
+    pub fn snapshot(&self) -> DiagnosticSnapshot {
+        let arb_stats = self.arb.stats();
+        DiagnosticSnapshot {
+            cycle: self.now,
+            last_retire_cycle: self.last_retire_cycle,
+            tasks_retired: self.stats.tasks_retired,
+            halted: self.halted,
+            pending: format!("{:?}", self.pending),
+            head: self.active.front().map(|r| HeadDiag {
+                order: r.order,
+                unit: r.unit,
+                entry: r.entry,
+                age: self.now.saturating_sub(r.assigned_at),
+                validated: r.validated,
+                exit_resolved: r.exit.is_some(),
+            }),
+            units: (0..self.cfg.units)
+                .map(|u| {
+                    let rec = self.active.iter().find(|r| r.unit == u);
+                    UnitDiag {
+                        unit: u,
+                        active: self.units[u].is_active(),
+                        order: rec.map(|r| r.order),
+                        entry: rec.map(|r| r.entry),
+                        complete: self.units[u].is_complete(self.now),
+                        awaiting: self.units[u].awaiting_regs().len(),
+                        stall: self.units[u].stall_reason(),
+                    }
+                })
+                .collect(),
+            ring_in_flight: self.ring.in_flight(),
+            ring_queues: self.ring.occupancies(),
+            arb_bank_occupancy: (0..self.cfg.banks.nbanks).map(|b| self.arb.occupancy(b)).collect(),
+            arb_full_events: arb_stats.full_events,
+            arb_violations: arb_stats.violations,
+        }
+    }
+
+    /// Builds a [`SimError::Internal`] carrying the current snapshot.
+    fn internal_error(&self, what: &str) -> SimError {
+        SimError::Internal { what: what.to_string(), snapshot: Box::new(self.snapshot()) }
     }
 
     fn finalize_stats(&mut self) {
@@ -314,6 +435,17 @@ impl<S: TraceSink> Processor<S> {
         self.stats.icache = ic;
         self.stats.predictions = self.predictor.stats().predictions;
         self.stats.correct_predictions = self.predictor.stats().correct;
+    }
+
+    /// [`Ring::send`] with the injector's hop jitter applied; a plain
+    /// send when injection is disabled.
+    fn ring_send(&mut self, unit: usize, msg: RingMsg, now: u64) {
+        if F::ENABLED {
+            let extra = self.inject.ring_extra_delay(now, unit);
+            self.ring.send_delayed(unit, msg, now, extra);
+        } else {
+            self.ring.send(unit, msg, now);
+        }
     }
 
     /// Order of the active task on `unit`, if any.
@@ -361,6 +493,16 @@ impl<S: TraceSink> Processor<S> {
         let now = self.now;
         let n = self.cfg.units;
 
+        // Chaos pressure windows: the injector may temporarily throttle
+        // ring bandwidth or ARB capacity (both clamped so progress is
+        // never starved). Compiles away under `NoFaults`.
+        if F::ENABLED {
+            let ring_cap = self.inject.ring_width_cap(now);
+            self.ring.set_width_cap(ring_cap);
+            let arb_cap = self.inject.arb_capacity_cap(now);
+            self.arb.set_capacity_pressure(arb_cap);
+        }
+
         // 1-2. Ring hop and delivery. A message travels forward until it
         // reaches (a) an older or equal task — it has wrapped all the way
         // around, or (b) the newest assigned task — every future task will
@@ -375,8 +517,53 @@ impl<S: TraceSink> Processor<S> {
         self.ring.step_into(now, &mut arrivals, &mut self.sink);
         for (dest, msg) in arrivals.drain(..) {
             debug_assert!(msg.hops <= 4 * n, "ring message circulating: {msg:?}");
+            // Stale-value kill: a later producer of this register already
+            // retired, so no live or future task may consume this copy.
+            if self.retired_creates[msg.reg.index()] > msg.sender_order + 1 {
+                if trace {
+                    eprintln!("[{now}] ring: {} stale at u{dest} {msg:?}", msg.reg);
+                }
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::RingDie {
+                        cycle: now,
+                        unit: dest,
+                        reg: msg.reg.index() as u8,
+                        hops: msg.hops as u32,
+                    });
+                }
+                continue;
+            }
             match self.unit_order(dest) {
                 Some(order) if order > msg.sender_order => {
+                    // A live producer of this register sits between the
+                    // sender and this task in program order. The message
+                    // should have died at that producer's unit but slipped
+                    // past while the unit was idle (a squash re-sequencing
+                    // window can re-assign the producer after the message
+                    // has gone by) — the value is stale here and for every
+                    // later task, so kill it instead of delivering.
+                    let skipped_producer = self.active.iter().any(|rec| {
+                        rec.order > msg.sender_order
+                            && rec.order < order
+                            && rec.create.contains(msg.reg)
+                    });
+                    if skipped_producer {
+                        if trace {
+                            eprintln!(
+                                "[{now}] ring: {} stale (skipped producer) at u{dest} {msg:?}",
+                                msg.reg
+                            );
+                        }
+                        if S::ENABLED {
+                            self.sink.event(&TraceEvent::RingDie {
+                                cycle: now,
+                                unit: dest,
+                                reg: msg.reg.index() as u8,
+                                hops: msg.hops as u32,
+                            });
+                        }
+                        continue;
+                    }
                     let propagate = self.units[dest].receive(msg.reg, msg.val, now);
                     if trace {
                         eprintln!(
@@ -394,7 +581,7 @@ impl<S: TraceSink> Processor<S> {
                         });
                     }
                     if propagate && Some(order) != newest_order {
-                        self.ring.send(dest, msg, now);
+                        self.ring_send(dest, msg, now);
                     }
                 }
                 Some(order) => {
@@ -415,7 +602,7 @@ impl<S: TraceSink> Processor<S> {
                 } // wrapped to the sender or older tasks: dies
                 None => {
                     if !self.active.is_empty() {
-                        self.ring.send(dest, msg, now); // pass through an idle unit
+                        self.ring_send(dest, msg, now); // pass through an idle unit
                     } else {
                         if trace {
                             eprintln!("[{now}] ring: {} dies at idle u{dest} {msg:?}", msg.reg);
@@ -479,7 +666,7 @@ impl<S: TraceSink> Processor<S> {
                         order: rec_order,
                     });
                 }
-                self.ring.send(
+                self.ring_send(
                     rec_unit,
                     RingMsg { reg, val, sender_order: rec_order, hops: 0 },
                     now,
@@ -543,8 +730,27 @@ impl<S: TraceSink> Processor<S> {
                 }
             }
         }
+        // Chaos: a fault plan may request a spurious squash at position
+        // `k`. Recovery re-dispatches the squashed task itself (the
+        // memory-violation redirect), so architectural results are
+        // unchanged. The head (k = 0) is never squashed — as in the
+        // paper, the head is non-speculative — and real squash causes at
+        // earlier positions take precedence via `consider`.
+        if F::ENABLED {
+            if let Some(k) = self.inject.spurious_squash(now, self.active.len()) {
+                if k >= 1 && k < self.active.len() {
+                    let rec = &self.active[k];
+                    let redirect = Pending::Entry {
+                        pc: rec.entry,
+                        by_prediction: rec.by_prediction,
+                        choice: rec.hist.map(|(from, _, idx)| (from, idx)),
+                    };
+                    consider((k, redirect, SquashCause::Chaos), &mut squash);
+                }
+            }
+        }
         if let Some((pos, redirect, cause)) = squash {
-            self.squash_from(pos, redirect, cause);
+            self.squash_from(pos, redirect, cause)?;
         }
         exits.clear();
         arb_stalled.clear();
@@ -553,46 +759,62 @@ impl<S: TraceSink> Processor<S> {
         self.scratch_arb_stalled = arb_stalled;
 
         // 6. Retire at the head (one per cycle).
-        if let Some(head) = self.active.front() {
-            let u = head.unit;
-            if self.units[u].is_complete(now) && head.validated {
-                let head = self.active.pop_front().expect("head exists");
-                let lines = self.arb.drain_stage(u, &mut self.mem);
-                for line in lines {
-                    self.banks.drain_store(now, line, &mut self.bus);
-                }
-                let c = self.units[u].counters();
-                self.stats.instructions += c.instructions;
-                self.stats.tasks_retired += 1;
-                self.stats.breakdown.useful += c.busy_cycles;
-                self.stats.breakdown.no_comp_inter_task += c.inter_task_cycles;
-                self.stats.breakdown.no_comp_intra_task += c.intra_task_cycles;
-                self.stats.breakdown.no_comp_wait_retire += c.wait_retire_cycles;
-                self.stats.breakdown.no_comp_arb += c.arb_stall_cycles;
-                self.retirement_log.push(Retirement {
+        let retire = match self.active.front() {
+            Some(head) => {
+                let u = head.unit;
+                (self.units[u].is_complete(now) && head.validated).then_some(u)
+            }
+            None => None,
+        };
+        if let Some(u) = retire {
+            let Some(head) = self.active.pop_front() else {
+                return Err(self.internal_error("retire: head task vanished mid-cycle"));
+            };
+            let lines = self.arb.drain_stage(u, &mut self.mem);
+            for line in lines {
+                self.banks.drain_store(now, line, &mut self.bus);
+            }
+            let c = self.units[u].counters();
+            self.stats.instructions += c.instructions;
+            self.stats.tasks_retired += 1;
+            self.stats.breakdown.useful += c.busy_cycles;
+            self.stats.breakdown.no_comp_inter_task += c.inter_task_cycles;
+            self.stats.breakdown.no_comp_intra_task += c.intra_task_cycles;
+            self.stats.breakdown.no_comp_wait_retire += c.wait_retire_cycles;
+            self.stats.breakdown.no_comp_arb += c.arb_stall_cycles;
+            self.retirement_log.push(Retirement {
+                cycle: now,
+                entry: head.entry,
+                unit: u,
+                instructions: c.instructions,
+            });
+            if S::ENABLED {
+                self.sink.event(&TraceEvent::TaskRetire {
                     cycle: now,
-                    entry: head.entry,
+                    order: head.order,
                     unit: u,
+                    entry: head.entry,
                     instructions: c.instructions,
                 });
-                if S::ENABLED {
-                    self.sink.event(&TraceEvent::TaskRetire {
-                        cycle: now,
-                        order: head.order,
-                        unit: u,
-                        entry: head.entry,
-                        instructions: c.instructions,
-                    });
+            }
+            self.units[u].retire(now);
+            self.last_retired_unit = Some(u);
+            self.last_retire_cycle = now;
+            // Record this task as the latest retired producer of its
+            // create-mask registers; in-flight messages from older tasks
+            // carrying these registers are now stale (see the kill in
+            // the arrivals loop).
+            if let Some(desc) = self.prog.task_at(head.entry) {
+                for r in desc.create.iter() {
+                    self.retired_creates[r.index()] = head.order + 1;
                 }
-                self.units[u].retire(now);
-                self.last_retired_unit = Some(u);
-                match self.active.front() {
-                    Some(next) => self.arb.set_head(next.unit),
-                    None => self.arb.set_head(self.next_unit),
-                }
-                if head.exit == Some(ExitKind::Halt) {
-                    self.halted = true;
-                }
+            }
+            match self.active.front() {
+                Some(next) => self.arb.set_head(next.unit),
+                None => self.arb.set_head(self.next_unit),
+            }
+            if head.exit == Some(ExitKind::Halt) {
+                self.halted = true;
             }
         }
 
@@ -616,7 +838,9 @@ impl<S: TraceSink> Processor<S> {
     /// predictor and maintaining the RAS. Returns a squash request if the
     /// successor on record is wrong.
     fn validate(&mut self, pos: usize) -> Result<Option<(usize, Pending, SquashCause)>, SimError> {
-        let exit = self.active[pos].exit.expect("validate needs an exit");
+        let Some(exit) = self.active[pos].exit else {
+            return Err(self.internal_error("validate: task has no resolved exit"));
+        };
         let entry = self.active[pos].entry;
         let desc = self.prog.task_at(entry).ok_or(SimError::NoDescriptor { pc: entry })?;
         let actual_idx = actual_target_index(desc, exit)
@@ -710,13 +934,20 @@ impl<S: TraceSink> Processor<S> {
 
     /// Squashes the task at `pos` and all its successors; the sequencer
     /// resumes from `redirect`.
-    fn squash_from(&mut self, pos: usize, redirect: Pending, cause: SquashCause) {
+    fn squash_from(
+        &mut self,
+        pos: usize,
+        redirect: Pending,
+        cause: SquashCause,
+    ) -> Result<(), SimError> {
         debug_assert!(pos < self.active.len());
         let cutoff = self.active[pos].order;
         let depth = self.active.len() - pos;
         self.ras.restore(self.active[pos].ras_snap);
         while self.active.len() > pos {
-            let rec = self.active.pop_back().expect("len > pos");
+            let Some(rec) = self.active.pop_back() else {
+                return Err(self.internal_error("squash: active queue shrank mid-wave"));
+            };
             let c = self.units[rec.unit].counters();
             if S::ENABLED {
                 self.sink.event(&TraceEvent::TaskSquash {
@@ -738,7 +969,14 @@ impl<S: TraceSink> Processor<S> {
                 self.predictor.set_history(from, prev);
             }
         }
+        // Deliberately skippable under the `chaos-broken-squash` feature:
+        // leaving a squashed task's in-flight register messages on the
+        // ring is a seeded bug the chaos campaign must catch (wrong-path
+        // values deliver to re-dispatched tasks and corrupt results).
+        #[cfg(not(feature = "chaos-broken-squash"))]
         self.ring.discard_if(|m| m.sender_order >= cutoff);
+        #[cfg(feature = "chaos-broken-squash")]
+        let _ = cutoff;
         if S::ENABLED {
             let redirect_pc = match redirect {
                 Pending::Entry { pc, .. } => Some(pc),
@@ -755,6 +993,10 @@ impl<S: TraceSink> Processor<S> {
             SquashCause::Control => self.stats.control_squashes += 1,
             SquashCause::Memory => self.stats.memory_squashes += 1,
             SquashCause::ArbFull => self.stats.arb_squashes += 1,
+            // Chaos waves reach the trace sink but deliberately touch no
+            // `RunStats` counter: reported stats describe the modeled
+            // machine, not the injected faults.
+            SquashCause::Chaos => {}
         }
         self.next_unit = match self.active.back() {
             Some(last) => (last.unit + 1) % self.cfg.units,
@@ -769,6 +1011,7 @@ impl<S: TraceSink> Processor<S> {
         self.pending = redirect;
         // Re-sequencing costs a cycle before the next assignment.
         self.seq_ready_at = self.now + 1;
+        Ok(())
     }
 
     fn assign_phase(&mut self, now: u64) -> Result<(), SimError> {
@@ -803,6 +1046,16 @@ impl<S: TraceSink> Processor<S> {
                         .filter(|&i| i < desc.targets.len())
                         .unwrap_or(0),
                 };
+                // Chaos: a fault plan may force a different target
+                // choice. The pick is still `by_prediction`, so normal
+                // successor validation detects and recovers from it.
+                let idx = if F::ENABLED {
+                    self.inject
+                        .override_prediction(now, last.order, last.entry, desc.targets.len(), idx)
+                        .min(desc.targets.len().saturating_sub(1))
+                } else {
+                    idx
+                };
                 let from = last.entry;
                 match desc.targets[idx].kind {
                     TargetKind::Addr(a) => {
@@ -813,7 +1066,11 @@ impl<S: TraceSink> Processor<S> {
                     TargetKind::Return => {
                         if let Some(pc) = self.ras.pop() {
                             if self.prog.task_at(pc).is_some() {
-                                let last = self.active.back_mut().expect("checked");
+                                let Some(last) = self.active.back_mut() else {
+                                    return Err(
+                                        self.internal_error("assign: predicted task vanished")
+                                    );
+                                };
                                 last.ras_popped = true;
                                 self.pending = Pending::Entry {
                                     pc,
@@ -912,6 +1169,8 @@ impl<S: TraceSink> Processor<S> {
             ras_popped: false,
             validated: false,
             hist,
+            assigned_at: now,
+            create,
         });
         self.next_unit = (unit_idx + 1) % self.cfg.units;
         self.pending = Pending::Unknown;

@@ -36,6 +36,9 @@ struct InFlight {
 pub struct Ring {
     width: usize,
     hop_latency: u64,
+    /// Temporary back-pressure cap on the effective width (chaos
+    /// injection); `None` in normal operation.
+    width_cap: Option<usize>,
     queues: Vec<VecDeque<InFlight>>,
 }
 
@@ -47,13 +50,34 @@ impl Ring {
     /// Panics if any parameter is zero.
     pub fn new(n: usize, width: usize, hop_latency: u64) -> Ring {
         assert!(n > 0 && width > 0 && hop_latency > 0);
-        Ring { width, hop_latency, queues: vec![VecDeque::new(); n] }
+        Ring { width, hop_latency, width_cap: None, queues: vec![VecDeque::new(); n] }
     }
 
     /// Enqueues a message at `unit`'s output port at cycle `now`; it can
     /// arrive at `unit + 1` once the hop latency elapses.
     pub fn send(&mut self, unit: usize, msg: RingMsg, now: u64) {
         self.queues[unit].push_back(InFlight { msg, available_from: now + self.hop_latency });
+    }
+
+    /// [`Ring::send`] with `extra` additional cycles of hop delay (chaos
+    /// jitter injection).
+    pub fn send_delayed(&mut self, unit: usize, msg: RingMsg, now: u64, extra: u64) {
+        self.queues[unit]
+            .push_back(InFlight { msg, available_from: now + self.hop_latency + extra });
+    }
+
+    /// Applies (or with `None` lifts) a back-pressure cap on messages
+    /// advanced per hop per cycle. The effective width never drops below
+    /// 1, so delivery always makes progress.
+    pub fn set_width_cap(&mut self, cap: Option<usize>) {
+        self.width_cap = cap;
+    }
+
+    fn effective_width(&self) -> usize {
+        match self.width_cap {
+            Some(cap) => self.width.min(cap).max(1),
+            None => self.width,
+        }
     }
 
     /// Advances to cycle `now`: up to `width` due messages leave each
@@ -87,11 +111,14 @@ impl Ring {
         sink: &mut S,
     ) {
         let n = self.queues.len();
+        let width = self.effective_width();
         for u in 0..n {
-            for _ in 0..self.width {
-                match self.queues[u].front() {
+            for _ in 0..width {
+                // Single panic-free pop: a not-yet-due message goes back
+                // to the front (queues are ordered by availability).
+                match self.queues[u].pop_front() {
                     Some(f) if f.available_from <= now => {
-                        let mut msg = self.queues[u].pop_front().expect("front exists").msg;
+                        let mut msg = f.msg;
                         msg.hops += 1;
                         let dest = (u + 1) % n;
                         if S::ENABLED {
@@ -105,7 +132,11 @@ impl Ring {
                         }
                         arrivals.push((dest, msg));
                     }
-                    _ => break,
+                    Some(f) => {
+                        self.queues[u].push_front(f);
+                        break;
+                    }
+                    None => break,
                 }
             }
         }
@@ -114,6 +145,11 @@ impl Ring {
     /// Messages currently in flight.
     pub fn in_flight(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Per-unit output-queue depth (diagnostic snapshots).
+    pub fn occupancies(&self) -> Vec<usize> {
+        self.queues.iter().map(VecDeque::len).collect()
     }
 
     /// Number of units on the ring.
@@ -190,6 +226,31 @@ mod tests {
         ring.send(2, msg(0), 0);
         let arr = ring.step(1);
         assert_eq!(arr[0].0, 0);
+    }
+
+    #[test]
+    fn delayed_send_adds_jitter() {
+        let mut ring = Ring::new(4, 1, 1);
+        ring.send_delayed(0, msg(0), 0, 2);
+        assert!(ring.step(1).is_empty());
+        assert!(ring.step(2).is_empty());
+        assert_eq!(ring.step(3).len(), 1);
+    }
+
+    #[test]
+    fn width_cap_throttles_and_lifts() {
+        let mut ring = Ring::new(2, 2, 1);
+        ring.send(0, msg(0), 0);
+        ring.send(0, msg(1), 0);
+        ring.set_width_cap(Some(1));
+        assert_eq!(ring.step(1).len(), 1, "capped to one message per hop");
+        ring.set_width_cap(None);
+        assert_eq!(ring.step(2).len(), 1);
+        // A zero cap clamps to 1: progress is never starved.
+        ring.send(0, msg(2), 2);
+        ring.send(0, msg(3), 2);
+        ring.set_width_cap(Some(0));
+        assert_eq!(ring.step(3).len(), 1);
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl ScalarProcessor {
         let mut halted = false;
         loop {
             if self.now >= self.cfg.max_cycles {
-                return Err(SimError::Timeout { cycles: self.cfg.max_cycles });
+                return Err(SimError::Timeout { cycles: self.cfg.max_cycles, snapshot: None });
             }
             let mut ports = MemPorts {
                 mem: &mut self.mem,

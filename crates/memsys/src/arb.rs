@@ -121,6 +121,9 @@ struct Entry {
 pub struct Arb {
     nstages: usize,
     capacity_per_bank: usize,
+    /// Temporary capacity-pressure cap (chaos injection); `None` in
+    /// normal operation.
+    pressure_cap: Option<usize>,
     head: usize,
     banks: Vec<Bank>,
     stats: ArbStats,
@@ -147,9 +150,26 @@ impl Arb {
         Arb {
             nstages,
             capacity_per_bank,
+            pressure_cap: None,
             head: 0,
             banks: (0..nbanks).map(|_| Bank::default()).collect(),
             stats: ArbStats::default(),
+        }
+    }
+
+    /// Applies (or with `None` lifts) a temporary capacity-pressure cap
+    /// on entries per bank (chaos injection). The effective capacity
+    /// never drops below 1, and the head stage may always allocate, so
+    /// the Stall overflow policy cannot deadlock under pressure.
+    pub fn set_capacity_pressure(&mut self, cap: Option<usize>) {
+        self.pressure_cap = cap;
+    }
+
+    /// The bank capacity currently in force.
+    fn effective_capacity(&self) -> usize {
+        match self.pressure_cap {
+            Some(cap) => self.capacity_per_bank.min(cap).max(1),
+            None => self.capacity_per_bank,
         }
     }
 
@@ -208,9 +228,10 @@ impl Arb {
         let bank = self.bank_of(line);
         let at_head = self.rank(stage) == 0;
         let nstages = self.nstages;
+        let capacity = self.effective_capacity();
         let stats = &mut self.stats;
         let map = &mut self.banks[bank];
-        if !at_head && map.len() >= self.capacity_per_bank && !map.contains_key(&line) {
+        if !at_head && map.len() >= capacity && !map.contains_key(&line) {
             stats.full_events += 1;
             return Err(ArbFull { bank });
         }
@@ -251,11 +272,10 @@ impl Arb {
         // First pass: make sure all needed entries can be allocated before
         // mutating any state (avoids partial effects on ArbFull).
         if my_rank != 0 {
+            let capacity = self.effective_capacity();
             for (line, _, _) in Self::split(addr, size) {
                 let bank = self.bank_of(line);
-                if !self.banks[bank].contains_key(&line)
-                    && self.banks[bank].len() >= self.capacity_per_bank
-                {
+                if !self.banks[bank].contains_key(&line) && self.banks[bank].len() >= capacity {
                     self.stats.full_events += 1;
                     return Err(ArbFull { bank });
                 }
@@ -335,10 +355,11 @@ impl Arb {
         let my_rank = self.rank(stage);
 
         // Pre-check allocations.
+        let capacity = self.effective_capacity();
         for (line, _, _) in Self::split(addr, size) {
             let bank = self.bank_of(line);
             if !self.banks[bank].contains_key(&line)
-                && self.banks[bank].len() >= self.capacity_per_bank
+                && self.banks[bank].len() >= capacity
                 && my_rank != 0
             {
                 self.stats.full_events += 1;
@@ -680,6 +701,24 @@ mod tests {
         assert!(arb.stats().full_events >= 1);
         // The head may exceed capacity.
         arb.store(0, 0x10, 4, 1, 2).unwrap();
+    }
+
+    #[test]
+    fn capacity_pressure_tightens_and_lifts() {
+        let mut arb = Arb::new(2, 1, 4);
+        arb.set_capacity_pressure(Some(1));
+        arb.store(1, 0x0, 4, 1, 2).unwrap();
+        // Second line exceeds the pressured capacity for a speculative
+        // stage...
+        assert!(arb.store(1, 0x8, 4, 1, 2).is_err());
+        // ...but the head may always allocate.
+        arb.store(0, 0x8, 4, 1, 2).unwrap();
+        // Lifting the pressure restores the real capacity.
+        arb.set_capacity_pressure(None);
+        arb.store(1, 0x10, 4, 1, 2).unwrap();
+        // A zero cap clamps to 1: existing lines remain usable.
+        arb.set_capacity_pressure(Some(0));
+        arb.store(1, 0x0, 4, 2, 2).unwrap();
     }
 
     #[test]

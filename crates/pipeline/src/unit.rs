@@ -227,6 +227,9 @@ pub struct ProcessingUnit {
 
     counters: TaskCounters,
     fault: Option<String>,
+    /// Fine-grained reason for the most recent zero-issue cycle (`None`
+    /// while issuing); surfaced in diagnostic snapshots.
+    last_stall: Option<StallReason>,
 }
 
 impl ProcessingUnit {
@@ -257,6 +260,7 @@ impl ProcessingUnit {
             pending_sends: Vec::new(),
             counters: TaskCounters::default(),
             fault: None,
+            last_stall: None,
         }
     }
 
@@ -310,6 +314,7 @@ impl ProcessingUnit {
         self.pending_sends.clear();
         self.counters = TaskCounters::default();
         self.fault = None;
+        self.last_stall = None;
     }
 
     /// Squash: discard the task and all pipeline state. The forwarded view
@@ -377,6 +382,12 @@ impl ProcessingUnit {
     /// Registers still awaiting inter-task delivery (diagnostics).
     pub fn awaiting_regs(&self) -> RegMask {
         self.regs.awaiting()
+    }
+
+    /// Why the unit issued nothing on its most recent zero-issue cycle
+    /// (`None` while issuing, or before the first stall). Diagnostics.
+    pub fn stall_reason(&self) -> Option<StallReason> {
+        self.last_stall
     }
 
     /// Ring delivery of register `r` with value `v` at cycle `now`.
@@ -521,8 +532,9 @@ impl ProcessingUnit {
                 _ => StallClass::IntraTask,
             }
         };
-        if S::ENABLED && issued == 0 {
-            // Refine the Section-3 class into a per-cycle reason.
+        if issued == 0 {
+            // Refine the Section-3 class into a per-cycle reason. Kept
+            // up to date even untraced: diagnostic snapshots report it.
             let reason = if self.stop_resolved && self.buf.is_empty() {
                 if now >= self.outstanding_max {
                     StallReason::WaitRetire
@@ -539,7 +551,12 @@ impl ProcessingUnit {
                     Some(Blocked::ArbFull) => StallReason::ArbFull,
                 }
             };
-            sink.event(&TraceEvent::UnitStall { cycle: now, unit: self.id, reason });
+            self.last_stall = Some(reason);
+            if S::ENABLED {
+                sink.event(&TraceEvent::UnitStall { cycle: now, unit: self.id, reason });
+            }
+        } else {
+            self.last_stall = None;
         }
         match stall {
             StallClass::Busy => self.counters.busy_cycles += 1,

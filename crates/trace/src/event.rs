@@ -18,6 +18,10 @@ pub enum SquashKind {
     Memory,
     /// ARB overflow under the squash policy (Section 2.3).
     ArbFull,
+    /// Spurious squash injected by a fault plan (chaos testing). Never
+    /// produced by the baseline machine; exercises the same recovery
+    /// machinery as the real causes.
+    Chaos,
 }
 
 impl SquashKind {
@@ -27,6 +31,7 @@ impl SquashKind {
             SquashKind::Control => "control",
             SquashKind::Memory => "memory",
             SquashKind::ArbFull => "arb_full",
+            SquashKind::Chaos => "chaos",
         }
     }
 }

@@ -26,6 +26,8 @@ pub struct MetricsReport {
     pub memory_squash_waves: u64,
     /// Squash waves caused by ARB overflow.
     pub arb_full_squash_waves: u64,
+    /// Squash waves injected by a chaos fault plan (zero in normal runs).
+    pub chaos_squash_waves: u64,
     /// Sequencer predictions observed.
     pub predictions: u64,
     /// Successor validations performed.
@@ -111,6 +113,7 @@ impl MetricsReport {
         field(&mut out, "control_squash_waves", self.control_squash_waves.to_string());
         field(&mut out, "memory_squash_waves", self.memory_squash_waves.to_string());
         field(&mut out, "arb_full_squash_waves", self.arb_full_squash_waves.to_string());
+        field(&mut out, "chaos_squash_waves", self.chaos_squash_waves.to_string());
         field(&mut out, "predictions", self.predictions.to_string());
         field(&mut out, "validations", self.validations.to_string());
         field(&mut out, "correct_validations", self.correct_validations.to_string());
@@ -209,6 +212,7 @@ impl TraceSink for MetricsSink {
                     SquashKind::Control => r.control_squash_waves += 1,
                     SquashKind::Memory => r.memory_squash_waves += 1,
                     SquashKind::ArbFull => r.arb_full_squash_waves += 1,
+                    SquashKind::Chaos => r.chaos_squash_waves += 1,
                 }
                 r.inter_squash_distance.record(self.retires_since_squash);
                 self.retires_since_squash = 0;

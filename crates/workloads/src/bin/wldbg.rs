@@ -1,23 +1,56 @@
 //! Debug driver: run one workload by name at test scale and print stats.
 //!
-//! Usage: `wldbg <name> [scalar|ms] [units]`
+//! Usage: `wldbg <name> [scalar|ms] [units] [--max-cycles N]`
+//!
+//! The cycle bound defaults to 3,000,000 and can be overridden with
+//! `--max-cycles` or the `MS_MAX_CYCLES` environment variable (the flag
+//! wins). On a timeout or a stalled run the full diagnostic snapshot is
+//! printed.
 
-use ms_workloads::{by_name, Scale};
+use ms_workloads::{by_name, Scale, WorkloadError};
 use multiscalar::SimConfig;
+
+const DEFAULT_MAX_CYCLES: u64 = 3_000_000;
+
+fn max_cycles_from(args: &[String]) -> u64 {
+    if let Some(i) = args.iter().position(|a| a == "--max-cycles") {
+        let val = args.get(i + 1).and_then(|s| s.parse().ok());
+        return val.unwrap_or_else(|| {
+            eprintln!("wldbg: --max-cycles needs a positive integer");
+            std::process::exit(2);
+        });
+    }
+    match std::env::var("MS_MAX_CYCLES") {
+        Ok(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("wldbg: MS_MAX_CYCLES={s} is not a positive integer");
+            std::process::exit(2);
+        }),
+        Err(_) => DEFAULT_MAX_CYCLES,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("Example");
     let mode = args.get(2).map(String::as_str).unwrap_or("scalar");
     let units: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let max_cycles = max_cycles_from(&args);
     let w = by_name(name, Scale::Test).unwrap_or_else(|| panic!("unknown workload {name}"));
     let result = if mode == "scalar" {
-        w.run_scalar(SimConfig::scalar().max_cycles(3_000_000))
+        w.run_scalar(SimConfig::scalar().max_cycles(max_cycles))
     } else {
-        w.run_multiscalar(SimConfig::multiscalar(units).max_cycles(3_000_000))
+        w.run_multiscalar(SimConfig::multiscalar(units).max_cycles(max_cycles))
     };
     match result {
         Ok(stats) => println!("{name} {mode}: ok\n{stats}"),
-        Err(e) => println!("{name} {mode}: ERROR {e}"),
+        Err(e) => {
+            println!("{name} {mode}: ERROR {e}");
+            if let WorkloadError::Sim(sim) = &e {
+                if let Some(snap) = sim.snapshot() {
+                    println!("{snap}");
+                }
+            }
+            std::process::exit(1);
+        }
     }
 }

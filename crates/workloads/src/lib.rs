@@ -204,7 +204,21 @@ impl Workload {
         Ok(prog)
     }
 
-    fn check_memory(&self, mem: &ms_memsys::Memory, prog: &Program) -> Result<(), WorkloadError> {
+    /// Validates simulated memory against the reference-computed
+    /// expectations — the sequential-semantics oracle shared by every run
+    /// path, including the `ms-chaos` campaign.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadError::Mismatch`] for the first wrong value.
+    ///
+    /// # Panics
+    /// Panics if a check references a symbol the program does not define
+    /// (a bug in the workload definition, not in the simulation).
+    pub fn verify_memory(
+        &self,
+        mem: &ms_memsys::Memory,
+        prog: &Program,
+    ) -> Result<(), WorkloadError> {
         for c in &self.checks {
             let base = prog.symbol(&c.symbol).unwrap_or_else(|| {
                 panic!("{}: check references unknown symbol {}", self.name, c.symbol)
@@ -231,7 +245,7 @@ impl Workload {
         let prog = self.assemble(AsmMode::Scalar)?;
         let mut p = ScalarProcessor::new(prog, cfg)?;
         let stats = p.run()?;
-        self.check_memory(p.memory(), p.program())?;
+        self.verify_memory(p.memory(), p.program())?;
         Ok(stats)
     }
 
@@ -244,7 +258,7 @@ impl Workload {
         let prog = self.assemble(AsmMode::Multiscalar)?;
         let mut p = Processor::new(prog, cfg)?;
         let stats = p.run()?;
-        self.check_memory(p.memory(), p.program())?;
+        self.verify_memory(p.memory(), p.program())?;
         Ok(stats)
     }
 
@@ -262,8 +276,30 @@ impl Workload {
         let prog = self.assemble(AsmMode::Multiscalar)?;
         let mut p = Processor::with_sink(prog, cfg, sink)?;
         let stats = p.run()?;
-        self.check_memory(p.memory(), p.program())?;
+        self.verify_memory(p.memory(), p.program())?;
         Ok((stats, p.into_sink()))
+    }
+
+    /// Like [`Workload::run_multiscalar`], but perturbs the
+    /// microarchitecture through `injector` (chaos testing) and returns
+    /// the finished processor alongside the stats so callers can inspect
+    /// the retirement log and final memory. Memory is validated against
+    /// the reference before returning — fault injection must never change
+    /// architectural results.
+    ///
+    /// # Errors
+    /// Propagates assembly/simulation errors and validation mismatches.
+    #[allow(clippy::type_complexity)]
+    pub fn run_multiscalar_with_injector<F: multiscalar::FaultInjector>(
+        &self,
+        cfg: SimConfig,
+        injector: F,
+    ) -> Result<(RunStats, Processor<multiscalar::trace::NullSink, F>), WorkloadError> {
+        let prog = self.assemble(AsmMode::Multiscalar)?;
+        let mut p = Processor::with_injector(prog, cfg, injector)?;
+        let stats = p.run()?;
+        self.verify_memory(p.memory(), p.program())?;
+        Ok((stats, p))
     }
 }
 

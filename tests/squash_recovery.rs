@@ -4,7 +4,7 @@
 
 use ms_asm::{assemble, AsmMode};
 use ms_isa::Reg;
-use multiscalar::{Processor, ScalarProcessor, SimConfig};
+use multiscalar::{FaultInjector, Processor, ScalarProcessor, SimConfig};
 
 fn run_both(src: &str, units: usize) -> (Processor, ScalarProcessor) {
     let ms = assemble(src, AsmMode::Multiscalar).expect("ms assembles");
@@ -239,4 +239,88 @@ CONS:
     assert_eq!(p.memory().read_le(out + 4, 4), 0x56);
     // lh at 4: bytes are [00, fe] -> sign-extended 0xfffffe00 truncated to u32.
     assert_eq!(p.memory().read_le(out + 8, 4), 0xffff_fe00);
+}
+
+/// Forces the sequencer wrong at *every* task boundary with a choice:
+/// whatever the predictor says, pick the next target instead.
+struct AlwaysWrong;
+
+impl FaultInjector for AlwaysWrong {
+    fn override_prediction(
+        &mut self,
+        _now: u64,
+        _order: u64,
+        _entry: u32,
+        ntargets: usize,
+        predicted: usize,
+    ) -> usize {
+        if ntargets > 1 {
+            (predicted + 1) % ntargets
+        } else {
+            predicted
+        }
+    }
+}
+
+#[test]
+fn forced_mispredict_at_every_boundary_still_sequential() {
+    // The worst case for control speculation: every multi-target boundary
+    // is predicted wrong, so every such task is squashed and re-dispatched
+    // down the resolved path. Architectural results must be untouched, at
+    // any unit count.
+    let src = "
+.data
+tally: .word 0, 0
+.text
+main:
+.task targets=STEP create=$16,$20
+INIT:
+    li!f $16, 24
+    li!f $20, 0
+    b!s  STEP
+.task targets=EVEN,ODD create=$20
+STEP:
+    addiu!f $20, $20, 1
+    andi $9, $20, 1
+    bne!st $9, $0, ODD
+    j!s  EVEN
+.task targets=STEP,FIN create=
+EVEN:
+    la  $10, tally
+    lw  $11, 0($10)
+    addiu $11, $11, 1
+    sw  $11, 0($10)
+    bne!st $20, $16, STEP
+    j!s FIN
+.task targets=STEP,FIN create=
+ODD:
+    la  $10, tally
+    lw  $11, 4($10)
+    addiu $11, $11, 2
+    sw  $11, 4($10)
+    bne!st $20, $16, STEP
+    j!s FIN
+.task targets=halt create=
+FIN:
+    halt
+";
+    let sc = assemble(src, AsmMode::Scalar).unwrap();
+    let mut s = ScalarProcessor::new(sc, SimConfig::scalar().max_cycles(20_000_000)).unwrap();
+    s.run().expect("scalar run");
+
+    for units in [2usize, 4, 8] {
+        let ms = assemble(src, AsmMode::Multiscalar).unwrap();
+        let cfg = SimConfig::multiscalar(units).max_cycles(20_000_000);
+        let mut p = Processor::with_injector(ms, cfg, AlwaysWrong).unwrap();
+        let stats = p.run().expect("ms run under forced mispredicts");
+        assert!(stats.tasks_squashed > 0, "@{units}: the sweep must actually squash");
+        let tally = p.program().symbol("tally").unwrap();
+        for off in [0u32, 4] {
+            assert_eq!(
+                p.memory().read_le(tally + off, 4),
+                s.memory().read_le(tally + off, 4),
+                "@{units} units, offset {off}"
+            );
+        }
+    }
 }
