@@ -423,8 +423,16 @@ impl Emitter<'_> {
                 want(3)?;
                 let rd = self.reg(o(0), line)?;
                 let rt = self.reg(o(1), line)?;
-                let sh = self.narrow_imm(self.imm(o(2), line)?, 6, false, line)? as u8;
-                self.push_tagged(Op::$variant { rd, rt, sh }, tags);
+                let sh = self.imm(o(2), line)?;
+                if !(0..64).contains(&sh) {
+                    return Err(err(
+                        line,
+                        AsmErrorKind::BadOperands(format!(
+                            "shift amount {sh} is out of range (0..=63 for 64-bit registers)"
+                        )),
+                    ));
+                }
+                self.push_tagged(Op::$variant { rd, rt, sh: sh as u8 }, tags);
             }};
         }
         macro_rules! load {
@@ -669,7 +677,17 @@ impl Emitter<'_> {
                 }
                 let mut regs: Vec<Reg> = Vec::with_capacity(nops);
                 for i in 0..nops {
-                    regs.push(self.reg(o(i), line)?);
+                    let r = self.reg(o(i), line)?;
+                    if r.index() == 0 {
+                        // $0 is architecturally constant, and its zero
+                        // register-field encoding means "empty slot" — the
+                        // entry would silently vanish from the binary.
+                        return Err(err(
+                            line,
+                            AsmErrorKind::BadOperands("cannot release $0".into()),
+                        ));
+                    }
+                    regs.push(r);
                 }
                 let nchunks = regs.len().div_ceil(RegList::CAPACITY);
                 for (ci, chunk) in regs.chunks(RegList::CAPACITY).enumerate() {

@@ -123,6 +123,30 @@ addlist:
     }
 
     #[test]
+    fn out_of_range_shift_amounts_are_rejected() {
+        for mnem in ["sll", "srl", "sra"] {
+            for sh in [64i64, 65, 1000, -1] {
+                let src = format!("main:\n {mnem} $2, $3, {sh}\n halt\n");
+                let e = assemble(&src, AsmMode::Scalar)
+                    .expect_err("out-of-range shift must not assemble");
+                assert!(matches!(e.kind, crate::AsmErrorKind::BadOperands(_)), "{mnem} {sh}: {e}");
+            }
+            // The boundary value still assembles.
+            let src = format!("main:\n {mnem} $2, $3, 63\n halt\n");
+            assemble(&src, AsmMode::Scalar).expect("shift by 63 is legal");
+        }
+    }
+
+    #[test]
+    fn release_of_zero_register_is_rejected() {
+        for src in ["main:\n release $0\n halt\n", "main:\n release $5, $0, $6\n halt\n"] {
+            let e =
+                assemble(src, AsmMode::Multiscalar).expect_err("release of $0 must not assemble");
+            assert!(matches!(e.kind, crate::AsmErrorKind::BadOperands(_)), "{e}");
+        }
+    }
+
+    #[test]
     fn entry_defaults_to_main() {
         let p = assemble("start: nop\nmain: halt\n", AsmMode::Scalar).unwrap();
         assert_eq!(p.entry, p.symbol("main").unwrap());

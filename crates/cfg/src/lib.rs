@@ -147,6 +147,105 @@ A:
     }
 
     #[test]
+    fn stale_forward_bit_is_an_error() {
+        // The forward bit sends $2 once; the later write is invisible to
+        // successors, which silently compute on the stale value.
+        let r = check(
+            "
+main:
+.task targets=B create=$2
+A:
+    li!f $2, 1
+    addiu $2, $2, 1
+    b!s B
+.task targets=halt create=
+B:
+    halt
+",
+        );
+        assert!(r.has_errors(), "{r}");
+        assert!(r.to_string().contains("stale"), "{r}");
+    }
+
+    #[test]
+    fn stale_release_is_an_error() {
+        let r = check(
+            "
+main:
+.task targets=B create=$2
+A:
+    release $2
+    li $2, 7
+    b!s B
+.task targets=halt create=
+B:
+    halt
+",
+        );
+        assert!(r.has_errors(), "{r}");
+        assert!(r.to_string().contains("stale"), "{r}");
+    }
+
+    #[test]
+    fn stale_forward_through_a_callee_write_is_an_error() {
+        // The task forwards $5 and then calls a helper that rewrites it.
+        let r = check(
+            "
+main:
+.task targets=halt create=$5
+A:
+    li!f $5, 1
+    jal helper
+    halt
+helper:
+    addiu $5, $5, 1
+    jr $31
+",
+        );
+        assert!(r.has_errors(), "{r}");
+        assert!(r.to_string().contains("stale"), "{r}");
+    }
+
+    #[test]
+    fn exclusive_path_reforward_is_a_warning_not_an_error() {
+        // Figure 4 forwards $4 on two dynamically exclusive paths; a
+        // path-insensitive checker cannot prove exclusivity, so this is
+        // flagged as a warning but must not be an error.
+        let r = check(
+            "
+main:
+.task targets=halt create=$2
+A:
+    bne $3, $0, OTHER
+    li!f $2, 1
+    halt
+OTHER:
+    li!f $2, 2
+    halt
+",
+        );
+        assert!(!r.has_errors(), "{r}");
+    }
+
+    #[test]
+    fn reforward_on_one_path_is_a_warning() {
+        let r = check(
+            "
+main:
+.task targets=halt create=$2
+A:
+    li!f $2, 1
+    beq $3, $0, SKIP
+    li $2, 2
+SKIP:
+    halt
+",
+        );
+        assert!(!r.has_errors(), "{r}");
+        assert!(r.diagnostics.iter().any(|d| d.severity == Severity::Warning), "{r}");
+    }
+
+    #[test]
     fn suppressed_calls_fold_function_effects_into_the_task() {
         // The helper forwards $5; the task's create mask must cover it.
         let bad = check(

@@ -120,11 +120,143 @@ impl Checker<'_> {
         self.diags.push(Diagnostic { severity, task: Some(task), pc, message });
     }
 
+    /// Intra-task control successors of `pc`, honouring stop bits the same
+    /// way the main task walk does (a firing stop ends the task-level path).
+    ///
+    /// With `only_unconditional`, successors that depend on a conditional
+    /// branch outcome are dropped, so reachability through the remaining
+    /// edges means "executes whenever `pc` does".
+    fn intra_task_successors(&self, pc: u32, only_unconditional: bool) -> Vec<u32> {
+        let Some(instr) = self.prog.instr_at(pc) else {
+            return Vec::new();
+        };
+        if matches!(instr.op, Op::Halt) {
+            return Vec::new();
+        }
+        // `b target` assembles to `beq $0, $0`: an always-taken branch.
+        let always_taken = matches!(instr.op, Op::Beq { rs, rt, .. } if rs == rt);
+        let is_branch = instr.op.is_branch() && !always_taken;
+        match instr.tags.stop {
+            StopCond::Always => return Vec::new(),
+            StopCond::IfTaken if is_branch => {
+                return if only_unconditional { Vec::new() } else { vec![pc + 4] };
+            }
+            StopCond::IfNotTaken if is_branch => {
+                return if only_unconditional {
+                    Vec::new()
+                } else {
+                    branch_target(&instr.op, pc).into_iter().collect()
+                };
+            }
+            StopCond::IfTaken | StopCond::IfNotTaken if always_taken => {
+                // An always-taken branch resolves its conditional stop
+                // statically: `!st` fires (exit), `!sn` never does.
+                return match instr.tags.stop {
+                    StopCond::IfTaken => Vec::new(),
+                    _ => branch_target(&instr.op, pc).into_iter().collect(),
+                };
+            }
+            _ => {}
+        }
+        match instr.op {
+            Op::J { target } => vec![target],
+            // Callee effects are folded in via summaries at the visit site.
+            Op::Jal { .. } => vec![pc + 4],
+            Op::Jr { .. } | Op::Jalr { .. } => Vec::new(),
+            _ if always_taken => branch_target(&instr.op, pc).into_iter().collect(),
+            ref op if op.is_branch() => {
+                if only_unconditional {
+                    Vec::new()
+                } else {
+                    let mut v = vec![pc + 4];
+                    if let Some(t) = branch_target(op, pc) {
+                        v.push(t);
+                    }
+                    v
+                }
+            }
+            _ => vec![pc + 4],
+        }
+    }
+
+    /// Checks every register in `regs` communicated at `comm_pc` (forward
+    /// bit or release) for later writes inside the task. A rewrite reached
+    /// through unconditional edges only executes on *every* run that
+    /// communicates, so it is a definite staleness error; a rewrite that
+    /// needs a conditional branch may sit on a dynamically exclusive path
+    /// (the paper's Figure 4 forwards `$4` on two such paths) and is only
+    /// a warning.
+    fn check_stale_communication(
+        &mut self,
+        entry: u32,
+        comm_pc: u32,
+        regs: RegMask,
+        what: &'static str,
+    ) {
+        let mut reported = RegMask::EMPTY;
+        for (only_unconditional, severity) in [(true, Severity::Error), (false, Severity::Warning)]
+        {
+            let mut live = regs.difference(reported);
+            if live.is_empty() {
+                continue;
+            }
+            let mut seen: BTreeSet<u32> = BTreeSet::new();
+            let mut work: VecDeque<u32> =
+                self.intra_task_successors(comm_pc, only_unconditional).into();
+            while let Some(pc) = work.pop_front() {
+                if live.is_empty() {
+                    break;
+                }
+                if !seen.insert(pc) {
+                    continue;
+                }
+                if pc != entry && self.prog.task_at(pc).is_some() {
+                    continue; // fall-through into another task is reported separately
+                }
+                let Some(instr) = self.prog.instr_at(pc) else {
+                    continue;
+                };
+                let mut written = RegMask::EMPTY;
+                if let Some(d) = instr.op.def() {
+                    written.insert(d);
+                }
+                if let Op::Jal { target } = instr.op {
+                    if let Some(sum) = self.summaries.get(&target) {
+                        written = written.union(sum.writes);
+                    }
+                }
+                for r in live.iter() {
+                    if written.contains(r) {
+                        let msg = if only_unconditional {
+                            format!(
+                                "{r} {what} here but is written again at {pc:#x} before the \
+                                 task ends; successors receive the stale value"
+                            )
+                        } else {
+                            format!(
+                                "{r} {what} here but may be written again at {pc:#x} on a \
+                                 conditional path; if both execute, successors receive the \
+                                 stale value"
+                            )
+                        };
+                        self.diag(severity, entry, Some(comm_pc), msg);
+                        reported.insert(r);
+                        live.remove(r);
+                    }
+                }
+                for s in self.intra_task_successors(pc, only_unconditional) {
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
     fn check_task(&mut self, entry: u32) -> TaskAnalysis {
         let desc = self.prog.task_at(entry).expect("caller verified").clone();
         let mut exits: BTreeSet<StaticExit> = BTreeSet::new();
         let mut forwards = RegMask::EMPTY;
         let mut releases = RegMask::EMPTY;
+        let mut comm_points: Vec<(u32, RegMask, &'static str)> = Vec::new();
         let mut seen: BTreeSet<u32> = BTreeSet::new();
         let mut work = VecDeque::from([entry]);
 
@@ -153,10 +285,12 @@ impl Checker<'_> {
             if let Some(d) = instr.op.def() {
                 if instr.tags.forward {
                     forwards.insert(d);
+                    comm_points.push((pc, RegMask::from_iter([d]), "carries a forward bit"));
                 }
             }
             if let Op::Release { regs } = instr.op {
                 releases = releases.union(regs.to_mask());
+                comm_points.push((pc, regs.to_mask(), "is released"));
             }
 
             // Halt ends the program regardless of tags.
@@ -275,6 +409,14 @@ impl Checker<'_> {
                 }
                 _ => work.push_back(pc + 4),
             }
+        }
+
+        // Stale-communication check: a forward bit (or `release`) sends a
+        // register value to successors exactly once per task, so any later
+        // write of the same register inside the task is lost to them — the
+        // successor computes on the stale value with no squash to save it.
+        for (pc, regs, what) in comm_points {
+            self.check_stale_communication(entry, pc, regs, what);
         }
 
         // Exit-vs-descriptor check.

@@ -1,0 +1,187 @@
+//! `msfuzz` — the differential-fuzzing corpus runner.
+//!
+//! ```text
+//! cargo run --release -p ms-fuzz --bin msfuzz -- \
+//!     [--seed B] [--count N] [--mode normal|adversarial|mixed] \
+//!     [--max-cycles N] [--watchdog N] [--no-shrink] \
+//!     [--out PATH] [--repro-dir DIR] \
+//!     [--repro FILE.s] [--repro-seed S] [--emit-seed S]
+//! ```
+//!
+//! Generates `N` seeded programs, validates each differentially
+//! (multiscalar at several configurations vs the scalar reference)
+//! and against the `ms-cfg` static checker, prints a summary, and
+//! writes a deterministic JSON report (default `FUZZ_report.json`;
+//! schema `multiscalar-fuzz/v1`). Every failure is minimized by the
+//! delta-debugging shrinker and written to `--repro-dir` as a
+//! standalone `.s` file, along with the exact command reproducing it.
+//! Exits non-zero on any failure.
+//!
+//! `--repro FILE.s` validates one assembly file under honest
+//! expectations (the way to re-check a minimized repro); `--repro-seed
+//! S` re-runs one generated case by its derived seed; `--emit-seed S`
+//! prints the generated source without running it.
+
+use ms_fuzz::diff::validate_source;
+use ms_fuzz::{gen, run_corpus, run_one, Campaign, Mode};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: msfuzz [--seed B] [--count N] [--mode normal|adversarial|mixed] \
+         [--max-cycles N] [--watchdog N] [--no-shrink] [--out PATH] [--repro-dir DIR] \
+         [--repro FILE.s] [--repro-seed S] [--emit-seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(v: Option<String>, what: &str) -> u64 {
+    let v = v.unwrap_or_else(|| {
+        eprintln!("{what} needs an integer");
+        usage()
+    });
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    };
+    parsed.unwrap_or_else(|| {
+        eprintln!("{what}: `{v}` is not an integer");
+        usage()
+    })
+}
+
+fn main() {
+    let mut campaign = Campaign::default();
+    let mut out_path = "FUZZ_report.json".to_string();
+    let mut repro_dir = ".".to_string();
+    let mut repro_file: Option<String> = None;
+    let mut repro_seed: Option<u64> = None;
+    let mut emit_seed: Option<u64> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => campaign.seed = parse_u64(it.next(), "--seed"),
+            "--count" => {
+                campaign.count = parse_u64(it.next(), "--count");
+                if campaign.count == 0 {
+                    eprintln!("--count needs a positive integer");
+                    usage();
+                }
+            }
+            "--mode" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--mode needs normal|adversarial|mixed");
+                    usage()
+                });
+                campaign.mode = Mode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown mode `{v}` (use normal|adversarial|mixed)");
+                    usage()
+                });
+            }
+            "--max-cycles" => campaign.opts.max_cycles = parse_u64(it.next(), "--max-cycles"),
+            "--watchdog" => campaign.opts.watchdog = parse_u64(it.next(), "--watchdog"),
+            "--no-shrink" => campaign.shrink = false,
+            "--out" => {
+                out_path = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    usage()
+                });
+            }
+            "--repro-dir" => {
+                repro_dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--repro-dir needs a directory");
+                    usage()
+                });
+            }
+            "--repro" => {
+                repro_file = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--repro needs a .s file");
+                    usage()
+                }));
+            }
+            "--repro-seed" => repro_seed = Some(parse_u64(it.next(), "--repro-seed")),
+            "--emit-seed" => emit_seed = Some(parse_u64(it.next(), "--emit-seed")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    if let Some(seed) = emit_seed {
+        let adversarial = campaign.mode == Mode::Adversarial;
+        print!("{}", gen::render(&gen::generate(seed, adversarial)));
+        return;
+    }
+
+    if let Some(path) = repro_file {
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(2);
+        });
+        let outcome = validate_source(&src, false, &campaign.opts);
+        println!("msfuzz: {path}: {}{}", outcome.verdict, prefixed(&outcome.detail));
+        std::process::exit(if outcome.pass { 0 } else { 1 });
+    }
+
+    if let Some(seed) = repro_seed {
+        let adversarial = campaign.mode == Mode::Adversarial;
+        let (outcome, src) = run_one(seed, adversarial, &campaign.opts);
+        println!("msfuzz: seed {seed:#x}: {}{}", outcome.verdict, prefixed(&outcome.detail));
+        if !outcome.pass {
+            let path = format!("{repro_dir}/fuzz-repro-{seed:x}.s");
+            write_or_die(&path, &src);
+            eprintln!("wrote {path}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let report = run_corpus(&campaign);
+    let total: u64 = report.verdicts.values().sum();
+    let verdicts: Vec<String> = report.verdicts.iter().map(|(k, v)| format!("{v} {k}")).collect();
+    println!(
+        "msfuzz: {} programs (seed {:#x}, {}): {} passed ({}), {} failed",
+        campaign.count,
+        campaign.seed,
+        campaign.mode.name(),
+        total,
+        verdicts.join(", "),
+        report.failures.len(),
+    );
+    for f in &report.failures {
+        println!(
+            "FAIL #{} seed {:#x}{}: {}{}\n  repro: {}",
+            f.index,
+            f.case_seed,
+            f.perturbation.as_deref().map(|p| format!(" ({p})")).unwrap_or_default(),
+            f.verdict,
+            prefixed(&f.detail),
+            f.repro,
+        );
+        let path = format!("{}/fuzz-repro-{:x}.s", repro_dir, f.case_seed);
+        write_or_die(&path, &f.min_source);
+        eprintln!("wrote {path}");
+    }
+
+    write_or_die(&out_path, &report.to_json());
+    eprintln!("wrote {out_path}");
+    if !report.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn prefixed(detail: &str) -> String {
+    if detail.is_empty() {
+        String::new()
+    } else {
+        format!(": {detail}")
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(1);
+    }
+}

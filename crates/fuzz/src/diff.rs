@@ -1,0 +1,222 @@
+//! Differential validation of one generated program.
+//!
+//! A program is cross-validated three ways:
+//!
+//! 1. **Static** — `ms-cfg::check_program` must accept an honestly
+//!    annotated program (any error is a generator or checker bug) and
+//!    should flag adversarially perturbed ones.
+//! 2. **Differential** — the program runs on the multiscalar simulator
+//!    at several [`SimConfig`] points and on the scalar reference; final
+//!    memory, final registers and retire counts must agree.
+//! 3. **Runtime containment** — a perturbed program the checker missed
+//!    may still fail loudly (simulator fault, watchdog, debug assert);
+//!    that counts as *caught*. What must never happen is a perturbed
+//!    program running to completion with a different answer and nobody
+//!    noticing: silent divergence is the bug class this crate hunts.
+
+use crate::gen::{ARR_BYTES, OUT_BYTES};
+use ms_asm::{assemble, AsmMode};
+use ms_cfg::{check_program, Severity};
+use multiscalar::{Processor, ScalarProcessor, SimConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Knobs for one validation run.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidateOpts {
+    /// Hard cycle ceiling per simulation.
+    pub max_cycles: u64,
+    /// Forward-progress watchdog window (cycles without a retirement).
+    pub watchdog: u64,
+}
+
+impl Default for ValidateOpts {
+    fn default() -> ValidateOpts {
+        ValidateOpts { max_cycles: 2_000_000, watchdog: 200_000 }
+    }
+}
+
+/// The multiscalar configuration points every program is run at.
+pub fn config_points(opts: &ValidateOpts) -> Vec<(&'static str, SimConfig)> {
+    [
+        ("ms1", SimConfig::multiscalar(1)),
+        ("ms2", SimConfig::multiscalar(2)),
+        ("ms4-ooo2", SimConfig::multiscalar(4).issue(2).out_of_order(true)),
+        ("ms8-ring1", SimConfig::multiscalar(8).ring_width(1).ring_latency(2)),
+    ]
+    .into_iter()
+    .map(|(n, c)| (n, c.max_cycles(opts.max_cycles).watchdog(Some(opts.watchdog))))
+    .collect()
+}
+
+/// The outcome of validating one program.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Whether the program met expectations for its mode.
+    pub pass: bool,
+    /// Machine-readable verdict name (see module docs).
+    pub verdict: &'static str,
+    /// Human-readable explanation (first failure, or empty).
+    pub detail: String,
+}
+
+impl CaseOutcome {
+    fn pass(verdict: &'static str) -> CaseOutcome {
+        CaseOutcome { pass: true, verdict, detail: String::new() }
+    }
+
+    fn fail(verdict: &'static str, detail: String) -> CaseOutcome {
+        CaseOutcome { pass: false, verdict, detail }
+    }
+}
+
+/// Validates one rendered program source.
+///
+/// `adversarial` states the *expectation*: an honest program must pass
+/// the checker and match the scalar reference everywhere; a perturbed
+/// program may be caught statically or at runtime (pass), or turn out
+/// harmless (pass) — but must not silently diverge (fail).
+pub fn validate_source(src: &str, adversarial: bool, opts: &ValidateOpts) -> CaseOutcome {
+    let ms_prog = match assemble(src, AsmMode::Multiscalar) {
+        Ok(p) => p,
+        Err(e) => return CaseOutcome::fail("assemble-error", format!("multiscalar: {e}")),
+    };
+    let sc_prog = match assemble(src, AsmMode::Scalar) {
+        Ok(p) => p,
+        Err(e) => return CaseOutcome::fail("assemble-error", format!("scalar: {e}")),
+    };
+
+    // Static cross-validation first: running a program whose
+    // annotations are known-bad can trip internal debug asserts, so a
+    // static catch both passes the case and skips the simulations.
+    let report = check_program(&ms_prog);
+    let errors: Vec<String> = report.of_severity(Severity::Error).map(|d| d.to_string()).collect();
+    if !errors.is_empty() {
+        return if adversarial {
+            CaseOutcome::pass("caught-static")
+        } else {
+            CaseOutcome::fail("static-reject", errors.join("; "))
+        };
+    }
+
+    let arr = match ms_prog.symbol("arr") {
+        Some(a) => a,
+        None => return CaseOutcome::fail("assemble-error", "no `arr` symbol".into()),
+    };
+    let region = (ARR_BYTES + OUT_BYTES) as usize;
+
+    // Scalar reference. The scalar binary is identical for every
+    // perturbation of a base program (annotations are stripped), so a
+    // scalar failure is always a generator bug.
+    let cfg = SimConfig::scalar().max_cycles(opts.max_cycles);
+    let mut scalar = match ScalarProcessor::new(sc_prog, cfg) {
+        Ok(s) => s,
+        Err(e) => return CaseOutcome::fail("scalar-error", e.to_string()),
+    };
+    let sc_stats = match scalar.run() {
+        Ok(s) => s,
+        Err(e) => return CaseOutcome::fail("scalar-error", e.to_string()),
+    };
+    let sc_mem = scalar.memory().read_vec(arr, region);
+    let sc_regs: Vec<u64> = (0..ms_isa::NUM_REGS)
+        .map(|r| scalar.reg(ms_isa::Reg::from_index(r).expect("register index")))
+        .collect();
+
+    let mut ms_counts: Option<(u64, u64)> = None;
+    for (name, cfg) in config_points(opts) {
+        let prog = ms_prog.clone();
+        let run = catch_unwind(AssertUnwindSafe(|| -> Result<_, String> {
+            let mut p = Processor::new(prog, cfg).map_err(|e| e.to_string())?;
+            let stats = p.run().map_err(|e| e.to_string())?;
+            let mem = p.memory().read_vec(arr, region);
+            let regs = p.final_regs().ok_or_else(|| "no final registers".to_string())?;
+            Ok((stats, mem, regs))
+        }));
+        let (stats, mem, regs) = match run {
+            Ok(Ok(r)) => r,
+            Ok(Err(e)) => {
+                return if adversarial {
+                    CaseOutcome::pass("caught-runtime")
+                } else {
+                    CaseOutcome::fail("runtime-error", format!("{name}: {e}"))
+                };
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                return if adversarial {
+                    CaseOutcome::pass("caught-runtime")
+                } else {
+                    CaseOutcome::fail("runtime-error", format!("{name}: panicked: {msg}"))
+                };
+            }
+        };
+
+        if let Some(d) = diverges(name, &stats, &mem, &regs, &sc_stats, &sc_mem, &sc_regs) {
+            let verdict = if adversarial { "silent-divergence" } else { "diverged" };
+            return CaseOutcome::fail(verdict, d);
+        }
+        // Retire counts must also agree *across* multiscalar configs:
+        // the architectural path is fixed, only the schedule may vary.
+        match ms_counts {
+            None => ms_counts = Some((stats.instructions, stats.tasks_retired)),
+            Some((instr, tasks)) => {
+                if stats.instructions != instr || stats.tasks_retired != tasks {
+                    let verdict = if adversarial { "silent-divergence" } else { "diverged" };
+                    return CaseOutcome::fail(
+                        verdict,
+                        format!(
+                            "{name}: retire counts {}i/{}t disagree with earlier config \
+                             {instr}i/{tasks}t",
+                            stats.instructions, stats.tasks_retired
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if adversarial {
+        CaseOutcome::pass("harmless")
+    } else {
+        CaseOutcome::pass("ok")
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn diverges(
+    name: &str,
+    stats: &multiscalar::RunStats,
+    mem: &[u8],
+    regs: &[u64; ms_isa::NUM_REGS],
+    sc_stats: &multiscalar::RunStats,
+    sc_mem: &[u8],
+    sc_regs: &[u64],
+) -> Option<String> {
+    if let Some(i) = (0..mem.len()).find(|&i| mem[i] != sc_mem[i]) {
+        return Some(format!(
+            "{name}: memory byte arr+{i} is {:#04x}, scalar has {:#04x}",
+            mem[i], sc_mem[i]
+        ));
+    }
+    // $31 holds a return address; the multiscalar text carries
+    // `release` instructions the scalar text lacks, so code addresses
+    // (and only code addresses) legitimately differ between binaries.
+    if let Some(r) = (0..regs.len()).find(|&r| r != 31 && regs[r] != sc_regs[r]) {
+        return Some(format!(
+            "{name}: register ${r} is {:#x}, scalar has {:#x}",
+            regs[r], sc_regs[r]
+        ));
+    }
+    // The multiscalar binary carries `release` instructions the scalar
+    // one lacks, so retired-instruction counts may only grow.
+    if stats.instructions < sc_stats.instructions {
+        return Some(format!(
+            "{name}: retired {} instructions, fewer than the scalar reference's {}",
+            stats.instructions, sc_stats.instructions
+        ));
+    }
+    None
+}

@@ -1,0 +1,898 @@
+//! Seeded generation of annotated multiscalar programs.
+//!
+//! A program is first built as a small structured IR ([`GenProgram`]):
+//! a chain of tasks (straight-line, Figure-4 self-loops, optional `!st`
+//! early exits, one-armed conditional diamonds) over a shared register
+//! pool, plus leaf helper functions reached by `jal` and loads/stores
+//! through a shared, aliased array. Annotations — create masks, forward
+//! bits, explicit `release` lists — are *derived* from the IR by the
+//! rules the paper's compiler uses (§3: forward the last update, cover
+//! every produced register, release what the forward bits miss), so a
+//! rendered program is correct by construction. Adversarial mode then
+//! applies a single seeded [`Perturbation`], producing a program whose
+//! annotations are wrong in a known way; the static checker or the
+//! runtime must notice — silent divergence is the bug the fuzzer hunts.
+
+use ms_isa::Reg;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Data-pool registers tasks compute in (multi-write allowed).
+pub const POOL: std::ops::RangeInclusive<u8> = 8..=15;
+/// Registers written by helper functions (never forwarded).
+pub const HELPER_OUT: [u8; 2] = [2, 3];
+/// Loop-limit registers, one per loop task (set once in INIT).
+pub const LIMITS: [u8; 4] = [16, 17, 18, 19];
+/// Loop-counter registers, one per loop task.
+pub const COUNTERS: [u8; 4] = [20, 21, 22, 23];
+/// Pointer to the shared data array (set once in INIT, read-only after).
+pub const ARR_PTR: u8 = 24;
+/// Pointer to the result area (set once in INIT, read-only after).
+pub const OUT_PTR: u8 = 25;
+/// Bytes of the shared, aliased data array.
+pub const ARR_BYTES: u32 = 128;
+/// Bytes of the result area the final task stores the pool into.
+pub const OUT_BYTES: u32 = 128;
+
+/// Three-operand ALU operations the generator draws from.
+pub const ALU3: [&str; 8] = ["addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"];
+/// Immediate ALU operations.
+pub const ALUI: [&str; 5] = ["addiu", "andi", "ori", "xori", "slti"];
+/// Immediate shifts.
+pub const SHIFTS: [&str; 3] = ["sll", "srl", "sra"];
+
+/// One generated instruction-level operation inside a task body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BodyOp {
+    /// `op rd, ra, rb`.
+    Alu {
+        /// Mnemonic index into [`ALU3`].
+        kind: u8,
+        /// Destination register index.
+        rd: u8,
+        /// First source register index.
+        ra: u8,
+        /// Second source register index.
+        rb: u8,
+    },
+    /// `op rd, ra, imm`.
+    AluImm {
+        /// Mnemonic index into [`ALUI`].
+        kind: u8,
+        /// Destination register index.
+        rd: u8,
+        /// Source register index.
+        ra: u8,
+        /// Immediate operand (kept within its field's range).
+        imm: i32,
+    },
+    /// `op rd, ra, sh` with an in-range shift amount.
+    Shift {
+        /// Mnemonic index into [`SHIFTS`].
+        kind: u8,
+        /// Destination register index.
+        rd: u8,
+        /// Source register index.
+        ra: u8,
+        /// Shift amount, `0..=63`.
+        sh: u8,
+    },
+    /// Load from the shared array: `l* rd, off($24)`.
+    Load {
+        /// Access size in bytes (1, 2, 4 or 8).
+        size: u8,
+        /// Destination register index.
+        rd: u8,
+        /// Byte offset into the array (size-aligned).
+        off: u32,
+    },
+    /// Store to the shared array: `s* rs, off($24)`.
+    Store {
+        /// Access size in bytes (1, 2, 4 or 8).
+        size: u8,
+        /// Source register index.
+        rs: u8,
+        /// Byte offset into the array (size-aligned).
+        off: u32,
+    },
+    /// `jal H<n>` to a leaf helper (clobbers `$31` and the helper's
+    /// write-set).
+    Call {
+        /// Helper index into [`GenProgram::helpers`].
+        helper: u8,
+    },
+    /// A one-armed conditional diamond: `b<cond> $r, $0, skip; <ops>;
+    /// skip:`. Arm operations are simple (no calls, no nested ifs).
+    If {
+        /// Branch mnemonic index into `["beq", "bne"]`.
+        cond: u8,
+        /// Register the condition tests against `$0`.
+        reg: u8,
+        /// Operations executed when the branch falls through.
+        arm: Vec<BodyOp>,
+    },
+}
+
+impl BodyOp {
+    /// The register this operation writes at top level, if any.
+    pub fn def(&self) -> Option<u8> {
+        match *self {
+            BodyOp::Alu { rd, .. }
+            | BodyOp::AluImm { rd, .. }
+            | BodyOp::Shift { rd, .. }
+            | BodyOp::Load { rd, .. } => Some(rd),
+            BodyOp::Store { .. } | BodyOp::Call { .. } | BodyOp::If { .. } => None,
+        }
+    }
+}
+
+/// What kind of control shape a task has.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Body runs once, closing `b!s` to the next task.
+    Straight,
+    /// Figure-4 self-loop: the counter is incremented and forwarded at
+    /// the top, the closing `bne!s counter, limit, self` re-enters.
+    Loop {
+        /// Counter register index (one of [`COUNTERS`]).
+        counter: u8,
+        /// Limit register index (one of [`LIMITS`]).
+        limit: u8,
+    },
+}
+
+/// An optional `!st` early exit rendered after the first third of the
+/// body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EarlyExit {
+    /// Branch mnemonic index into `["beq", "bne", "blez", "bgtz"]`.
+    pub cond: u8,
+    /// Register tested.
+    pub reg: u8,
+    /// Absolute index of the task jumped to (always later than the
+    /// current task).
+    pub to: usize,
+}
+
+/// One generated task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenTask {
+    /// Control shape.
+    pub kind: TaskKind,
+    /// Optional `!st` exit to a later task.
+    pub early_exit: Option<EarlyExit>,
+    /// Body operations, in order.
+    pub body: Vec<BodyOp>,
+    /// Registers to `release` explicitly just before the closing branch
+    /// (a derived subset of the non-forwarded written registers; the
+    /// rest rely on end-of-task auto-release).
+    pub end_release: Vec<u8>,
+}
+
+impl GenTask {
+    /// Body index before which the `!st` early exit is rendered.
+    pub fn exit_split(&self) -> Option<usize> {
+        self.early_exit.as_ref().map(|_| self.body.len().div_ceil(3))
+    }
+}
+
+/// A leaf helper function (`jal` target ending in `jr $31`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Helper {
+    /// Simple operations (ALU only — helpers never touch memory or
+    /// control). Destinations are restricted to [`HELPER_OUT`].
+    pub ops: Vec<BodyOp>,
+}
+
+/// A seeded single perturbation applied in adversarial mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Add a forward bit to an *earlier* write of a multiply-written
+    /// register — the classic stale-forward bug (a value is sent once
+    /// per task, so the later write never reaches successors).
+    StaleForward {
+        /// Task index.
+        task: usize,
+        /// Register whose early write gets the bogus bit.
+        reg: u8,
+    },
+    /// Insert `release $r` right after an early write of a register
+    /// that is written again later — stale by the same mechanism.
+    EarlyRelease {
+        /// Task index.
+        task: usize,
+        /// Register released too early.
+        reg: u8,
+    },
+    /// Remove a forwarded register from its task's create mask.
+    DropCreate {
+        /// Task index.
+        task: usize,
+        /// Register removed from the mask.
+        reg: u8,
+    },
+    /// Remove the stop bit from a task's closing branch, so control
+    /// falls into the next task unmarked.
+    DropStop {
+        /// Task index.
+        task: usize,
+    },
+    /// Remove one entry from a task's descriptor target list.
+    DropTarget {
+        /// Task index.
+        task: usize,
+        /// Which target (by position) to drop.
+        which: usize,
+    },
+    /// Remove the explicit end-of-task releases — *harmless* by design
+    /// (auto-release covers them); exercises the runtime path.
+    DropRelease {
+        /// Task index.
+        task: usize,
+    },
+    /// Add a never-written register to a create mask — harmless
+    /// (auto-release passes the inbound value through).
+    InflateCreate {
+        /// Task index.
+        task: usize,
+        /// Register added to the mask.
+        reg: u8,
+    },
+    /// Remove the forward bit from a last write — harmless but slower
+    /// (successors wait for the end-of-task auto-release).
+    DropForward {
+        /// Task index.
+        task: usize,
+        /// Register whose forward bit is removed.
+        reg: u8,
+    },
+}
+
+impl Perturbation {
+    /// Short machine-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Perturbation::StaleForward { .. } => "stale-forward",
+            Perturbation::EarlyRelease { .. } => "early-release",
+            Perturbation::DropCreate { .. } => "drop-create",
+            Perturbation::DropStop { .. } => "drop-stop",
+            Perturbation::DropTarget { .. } => "drop-target",
+            Perturbation::DropRelease { .. } => "drop-release",
+            Perturbation::InflateCreate { .. } => "inflate-create",
+            Perturbation::DropForward { .. } => "drop-forward",
+        }
+    }
+
+    /// The task this perturbation applies to.
+    pub fn task(&self) -> usize {
+        match *self {
+            Perturbation::StaleForward { task, .. }
+            | Perturbation::EarlyRelease { task, .. }
+            | Perturbation::DropCreate { task, .. }
+            | Perturbation::DropStop { task }
+            | Perturbation::DropTarget { task, .. }
+            | Perturbation::DropRelease { task }
+            | Perturbation::InflateCreate { task, .. }
+            | Perturbation::DropForward { task, .. } => task,
+        }
+    }
+}
+
+/// A complete generated program in IR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenProgram {
+    /// Seed the program was generated from (recorded for repros).
+    pub seed: u64,
+    /// Tasks in program order. Task 0 is always the INIT task; the last
+    /// task is always the FIN store-out task.
+    pub tasks: Vec<GenTask>,
+    /// Leaf helpers callable from any task.
+    pub helpers: Vec<Helper>,
+    /// Initial contents of the shared array (rendered as `.word`s).
+    pub arr_init: Vec<u32>,
+    /// The single perturbation applied in adversarial mode.
+    pub perturbation: Option<Perturbation>,
+}
+
+fn reg_name(i: u8) -> String {
+    Reg::from_index(i as usize).expect("generator register index").to_string()
+}
+
+/// Per-task annotation facts derived from the IR.
+#[derive(Clone, Debug, Default)]
+pub struct Derived {
+    /// All registers the task may write (create-mask contents), sorted.
+    pub create: Vec<u8>,
+    /// `(register, top-level body index)` of each forward bit. A loop
+    /// task's counter is forwarded on the rendered increment, marked
+    /// with index [`COUNTER_FWD`].
+    pub forwards: Vec<(u8, usize)>,
+}
+
+/// Pseudo body index marking the loop counter's rendered increment.
+pub const COUNTER_FWD: usize = usize::MAX;
+
+/// Computes the create mask and forward-bit placement for one task.
+///
+/// Forward rule: a register is forwarded iff its *last* write in the
+/// body is a top-level (unconditional, non-call) write; the bit goes on
+/// that write. Conditionally-written registers, helper clobbers and
+/// `$31` are covered by release/auto-release instead. With the
+/// `fuzz-teeth` feature the last-write analysis is disabled and the bit
+/// lands on the *first* top-level write — the seeded bug the corpus
+/// must catch.
+pub fn derive(task: &GenTask, helpers: &[Helper]) -> Derived {
+    // (reg, top-level position or None for conditional/call writes),
+    // in body order.
+    let mut writes: Vec<(u8, Option<usize>)> = Vec::new();
+    if let TaskKind::Loop { counter, .. } = task.kind {
+        writes.push((counter, Some(COUNTER_FWD)));
+    }
+    for (i, op) in task.body.iter().enumerate() {
+        match op {
+            BodyOp::If { arm, .. } => {
+                for a in arm {
+                    if let Some(r) = a.def() {
+                        writes.push((r, None));
+                    }
+                }
+            }
+            BodyOp::Call { helper } => {
+                writes.push((31, None));
+                for h in &helpers[*helper as usize].ops {
+                    if let Some(r) = h.def() {
+                        writes.push((r, None));
+                    }
+                }
+            }
+            _ => {
+                if let Some(r) = op.def() {
+                    writes.push((r, Some(i)));
+                }
+            }
+        }
+    }
+
+    let mut create: Vec<u8> = writes.iter().map(|&(r, _)| r).collect();
+    create.sort_unstable();
+    create.dedup();
+
+    let mut forwards: Vec<(u8, usize)> = Vec::new();
+    for &r in &create {
+        let positions: Vec<Option<usize>> =
+            writes.iter().filter(|&&(wr, _)| wr == r).map(|&(_, p)| p).collect();
+        #[cfg(not(feature = "fuzz-teeth"))]
+        let candidate = positions.last().copied().flatten();
+        #[cfg(feature = "fuzz-teeth")]
+        let candidate = positions.first().copied().flatten();
+        if let Some(p) = candidate {
+            forwards.push((r, p));
+        }
+    }
+    Derived { create, forwards }
+}
+
+/// Registers with two top-level writes joined by a *straight* path (no
+/// conditional branch in between), with the earlier write's body index.
+/// These are the targets where a bogus early communication is provably
+/// stale — the static checker must flag it as an error, not merely a
+/// may-happen warning.
+pub fn multi_written(task: &GenTask) -> Vec<(u8, usize)> {
+    let split = task.exit_split();
+    let mut last_write: Vec<(u8, usize)> = Vec::new();
+    let mut out: Vec<(u8, usize)> = Vec::new();
+    for (j, op) in task.body.iter().enumerate() {
+        let Some(r) = op.def() else { continue };
+        if let Some(&(_, i)) = last_write.iter().find(|&&(lr, _)| lr == r) {
+            let no_if = task.body[i + 1..j].iter().all(|o| !matches!(o, BodyOp::If { .. }));
+            let no_exit = split.is_none_or(|s| !(i < s && s <= j));
+            if no_if && no_exit && !out.iter().any(|&(or, _)| or == r) {
+                out.push((r, i));
+            }
+        }
+        match last_write.iter_mut().find(|e| e.0 == r) {
+            Some(e) => e.1 = j,
+            None => last_write.push((r, j)),
+        }
+    }
+    out
+}
+
+/// Generates one program from `seed`. With `adversarial`, one seeded
+/// perturbation is recorded in the result (applied at render time).
+pub fn generate(seed: u64, adversarial: bool) -> GenProgram {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_mid = rng.gen_range(2usize..=5); // tasks between INIT and FIN
+    let n_helpers = rng.gen_range(1usize..=2);
+
+    let helpers: Vec<Helper> = (0..n_helpers)
+        .map(|_| {
+            let n = rng.gen_range(1usize..=3);
+            let ops = (0..n)
+                .map(|i| {
+                    let rd = HELPER_OUT[i % HELPER_OUT.len()];
+                    let ra = if i == 0 { rng.gen_range(8u8..=15) } else { HELPER_OUT[0] };
+                    BodyOp::Alu {
+                        kind: rng.gen_range(0..ALU3.len() as u8),
+                        rd,
+                        ra,
+                        rb: rng.gen_range(8u8..=15),
+                    }
+                })
+                .collect();
+            Helper { ops }
+        })
+        .collect();
+
+    let mut loops_used = 0usize;
+    let mut tasks: Vec<GenTask> = Vec::new();
+    // Task 0: INIT (rendered specially; empty body here).
+    tasks.push(GenTask {
+        kind: TaskKind::Straight,
+        early_exit: None,
+        body: Vec::new(),
+        end_release: Vec::new(),
+    });
+
+    for t in 0..n_mid {
+        let abs = t + 1;
+        let kind = if loops_used < COUNTERS.len() && rng.gen_bool(0.4) {
+            let k = TaskKind::Loop { counter: COUNTERS[loops_used], limit: LIMITS[loops_used] };
+            loops_used += 1;
+            k
+        } else {
+            TaskKind::Straight
+        };
+
+        let n_ops = rng.gen_range(4usize..=10);
+        let mut called = false;
+        let body: Vec<BodyOp> =
+            (0..n_ops).map(|_| random_op(&mut rng, &helpers, &mut called, true)).collect();
+
+        // Optional early exit to a strictly later task (or FIN).
+        let early_exit = if rng.gen_bool(0.3) {
+            let to = rng.gen_range(abs + 1..=n_mid + 1);
+            Some(EarlyExit { cond: rng.gen_range(0..4), reg: rng.gen_range(8u8..=15), to })
+        } else {
+            None
+        };
+
+        let mut task = GenTask { kind, early_exit, body, end_release: Vec::new() };
+        // Explicitly release a random subset of the auto-released regs.
+        let d = derive(&task, &helpers);
+        let forwarded: Vec<u8> = d.forwards.iter().map(|&(r, _)| r).collect();
+        task.end_release = d
+            .create
+            .iter()
+            .copied()
+            .filter(|r| !forwarded.contains(r) && rng.gen_bool(0.5))
+            .collect();
+        tasks.push(task);
+    }
+
+    // FIN task: stores the pool and counters to `out` (rendered
+    // specially; empty body here).
+    tasks.push(GenTask {
+        kind: TaskKind::Straight,
+        early_exit: None,
+        body: Vec::new(),
+        end_release: Vec::new(),
+    });
+
+    let arr_init: Vec<u32> = (0..ARR_BYTES / 4).map(|_| rng.gen::<u32>()).collect();
+
+    let mut prog = GenProgram { seed, tasks, helpers, arr_init, perturbation: None };
+    if adversarial {
+        prog.perturbation = pick_perturbation(&mut rng, &prog);
+    }
+    prog
+}
+
+fn random_op(
+    rng: &mut SmallRng,
+    helpers: &[Helper],
+    called: &mut bool,
+    allow_compound: bool,
+) -> BodyOp {
+    fn pool(rng: &mut SmallRng) -> u8 {
+        rng.gen_range(8u8..=15)
+    }
+    loop {
+        match rng.gen_range(0u32..100) {
+            0..=29 => {
+                // After a call, results in $2/$3 may feed the pool.
+                let use_ret = *called && rng.gen_bool(0.4);
+                let ra = if use_ret { HELPER_OUT[rng.gen_range(0..2)] } else { pool(rng) };
+                return BodyOp::Alu {
+                    kind: rng.gen_range(0..ALU3.len() as u8),
+                    rd: pool(rng),
+                    ra,
+                    rb: pool(rng),
+                };
+            }
+            30..=49 => {
+                let kind = rng.gen_range(0..ALUI.len() as u8);
+                let imm = rng.gen_range(-2048i32..2048);
+                // andi/ori/xori take unsigned immediates.
+                let imm = if (1..=3).contains(&kind) { imm & 0xfff } else { imm };
+                return BodyOp::AluImm { kind, rd: pool(rng), ra: pool(rng), imm };
+            }
+            50..=59 => {
+                return BodyOp::Shift {
+                    kind: rng.gen_range(0..SHIFTS.len() as u8),
+                    rd: pool(rng),
+                    ra: pool(rng),
+                    sh: rng.gen_range(0..64),
+                };
+            }
+            60..=74 => {
+                let size = 1u8 << rng.gen_range(0u32..4);
+                let off = rng.gen_range(0..ARR_BYTES / size as u32) * size as u32;
+                return BodyOp::Load { size, rd: pool(rng), off };
+            }
+            75..=89 => {
+                let size = 1u8 << rng.gen_range(0u32..4);
+                let off = rng.gen_range(0..ARR_BYTES / size as u32) * size as u32;
+                return BodyOp::Store { size, rs: pool(rng), off };
+            }
+            90..=94 => {
+                if helpers.is_empty() {
+                    continue;
+                }
+                *called = true;
+                return BodyOp::Call { helper: rng.gen_range(0..helpers.len() as u8) };
+            }
+            _ => {
+                if !allow_compound {
+                    continue;
+                }
+                let n = rng.gen_range(1usize..=3);
+                let mut arm_called = false;
+                let arm = (0..n).map(|_| random_op(rng, &[], &mut arm_called, false)).collect();
+                return BodyOp::If { cond: rng.gen_range(0..2), reg: pool(rng), arm };
+            }
+        }
+    }
+}
+
+/// The number of descriptor targets a rendered task has.
+fn target_count(prog: &GenProgram, t: usize) -> usize {
+    let task = &prog.tasks[t];
+    let mut n = match task.kind {
+        TaskKind::Loop { .. } => 2,
+        TaskKind::Straight => 1,
+    };
+    if let Some(e) = &task.early_exit {
+        // The early target may coincide with the fall-through target.
+        if e.to != t + 1 {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Picks one applicable perturbation for the program, if any fits.
+fn pick_perturbation(rng: &mut SmallRng, prog: &GenProgram) -> Option<Perturbation> {
+    // The candidate list is built deterministically, then one is chosen.
+    let mut cands: Vec<Perturbation> = Vec::new();
+    for t in 1..prog.tasks.len() - 1 {
+        let task = &prog.tasks[t];
+        let d = derive(task, &prog.helpers);
+        for (r, _) in multi_written(task) {
+            cands.push(Perturbation::StaleForward { task: t, reg: r });
+            cands.push(Perturbation::EarlyRelease { task: t, reg: r });
+        }
+        for &(r, p) in &d.forwards {
+            cands.push(Perturbation::DropCreate { task: t, reg: r });
+            if p != COUNTER_FWD {
+                cands.push(Perturbation::DropForward { task: t, reg: r });
+            }
+        }
+        cands.push(Perturbation::DropStop { task: t });
+        let n_targets = target_count(prog, t);
+        if n_targets > 1 {
+            cands.push(Perturbation::DropTarget { task: t, which: rng.gen_range(0..n_targets) });
+        }
+        if !task.end_release.is_empty() {
+            cands.push(Perturbation::DropRelease { task: t });
+        }
+        // $26/$27 are never touched by the generator.
+        cands.push(Perturbation::InflateCreate { task: t, reg: 26 + rng.gen_range(0u8..2) });
+    }
+    if cands.is_empty() {
+        None
+    } else {
+        let i = rng.gen_range(0..cands.len());
+        Some(cands.swap_remove(i))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+struct TaskRender {
+    create: Vec<u8>,
+    targets: Vec<String>,
+    lines: Vec<String>,
+    /// Maps a top-level body index to its position in `lines` (simple
+    /// ops only — `If` blocks and pseudo-ops are never perturbed).
+    body_line: Vec<(usize, usize)>,
+}
+
+/// Renders the IR to a standalone assembly source.
+///
+/// The output is deliberately self-contained: it assembles in both
+/// scalar and multiscalar modes, and a shrunk repro written to disk is
+/// runnable with `msfuzz --repro FILE` with no other context.
+pub fn render(prog: &GenProgram) -> String {
+    let n = prog.tasks.len();
+    let mut tasks: Vec<TaskRender> = Vec::with_capacity(n);
+
+    for (t, _) in prog.tasks.iter().enumerate() {
+        if t == 0 {
+            tasks.push(render_init(prog));
+        } else if t == n - 1 {
+            tasks.push(render_fin(prog));
+        } else {
+            tasks.push(render_mid(prog, t));
+        }
+    }
+
+    apply_perturbation(prog, &mut tasks);
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "; generated by msfuzz --seed {}{}",
+        prog.seed,
+        match &prog.perturbation {
+            Some(p) => format!(" (adversarial: {})", p.name()),
+            None => String::new(),
+        }
+    );
+    s.push_str(".data\n");
+    let words: Vec<String> = prog.arr_init.iter().map(|w| w.to_string()).collect();
+    let _ = writeln!(s, "arr: .word {}", words.join(", "));
+    let _ = writeln!(s, "out: .space {OUT_BYTES}");
+    s.push_str("\n.text\nmain:\n");
+    for (t, tr) in tasks.iter().enumerate() {
+        let create: Vec<String> = tr.create.iter().map(|&r| reg_name(r)).collect();
+        let _ = writeln!(s, ".task targets={} create={}", tr.targets.join(","), create.join(","));
+        let _ = writeln!(s, "T{t}:");
+        for l in &tr.lines {
+            let _ = writeln!(s, "    {l}");
+        }
+    }
+    for (h, helper) in prog.helpers.iter().enumerate() {
+        let _ = writeln!(s, "H{h}:");
+        for op in &helper.ops {
+            let _ = writeln!(s, "    {}", op_line(op, ""));
+        }
+        s.push_str("    jr $31\n");
+    }
+    s
+}
+
+fn op_line(op: &BodyOp, fwd: &str) -> String {
+    match *op {
+        BodyOp::Alu { kind, rd, ra, rb } => {
+            format!(
+                "{}{} {}, {}, {}",
+                ALU3[kind as usize],
+                fwd,
+                reg_name(rd),
+                reg_name(ra),
+                reg_name(rb)
+            )
+        }
+        BodyOp::AluImm { kind, rd, ra, imm } => {
+            format!("{}{} {}, {}, {}", ALUI[kind as usize], fwd, reg_name(rd), reg_name(ra), imm)
+        }
+        BodyOp::Shift { kind, rd, ra, sh } => {
+            format!("{}{} {}, {}, {}", SHIFTS[kind as usize], fwd, reg_name(rd), reg_name(ra), sh)
+        }
+        BodyOp::Load { size, rd, off } => {
+            let m = match size {
+                1 => "lbu",
+                2 => "lhu",
+                4 => "lw",
+                _ => "ld",
+            };
+            format!("{}{} {}, {}({})", m, fwd, reg_name(rd), off, reg_name(ARR_PTR))
+        }
+        BodyOp::Store { size, rs, off } => {
+            let m = match size {
+                1 => "sb",
+                2 => "sh",
+                4 => "sw",
+                _ => "sd",
+            };
+            format!("{} {}, {}({})", m, reg_name(rs), off, reg_name(ARR_PTR))
+        }
+        BodyOp::Call { helper } => format!("jal H{helper}"),
+        BodyOp::If { .. } => unreachable!("If is rendered by render_mid"),
+    }
+}
+
+fn render_init(prog: &GenProgram) -> TaskRender {
+    let mut lines = Vec::new();
+    let mut create = vec![ARR_PTR, OUT_PTR];
+    // A dedicated stream keeps the initial values stable under shrinking.
+    let mut rng = SmallRng::seed_from_u64(prog.seed ^ 0x1217_5eed);
+    lines.push(format!("la!f {}, arr", reg_name(ARR_PTR)));
+    lines.push(format!("la!f {}, out", reg_name(OUT_PTR)));
+    for r in POOL {
+        create.push(r);
+        lines.push(format!("li!f {}, {}", reg_name(r), rng.gen_range(-2048i32..2048)));
+    }
+    for task in &prog.tasks {
+        if let TaskKind::Loop { counter, limit } = task.kind {
+            create.push(counter);
+            create.push(limit);
+            lines.push(format!("li!f {}, 0", reg_name(counter)));
+            lines.push(format!("li!f {}, {}", reg_name(limit), rng.gen_range(1i32..=5)));
+        }
+    }
+    lines.push("b!s T1".to_string());
+    create.sort_unstable();
+    TaskRender { create, targets: vec!["T1".to_string()], lines, body_line: Vec::new() }
+}
+
+fn render_fin(prog: &GenProgram) -> TaskRender {
+    let mut lines = Vec::new();
+    let mut off = 0u32;
+    for r in POOL {
+        lines.push(format!("sd {}, {}({})", reg_name(r), off, reg_name(OUT_PTR)));
+        off += 8;
+    }
+    for task in &prog.tasks {
+        if let TaskKind::Loop { counter, .. } = task.kind {
+            lines.push(format!("sd {}, {}({})", reg_name(counter), off, reg_name(OUT_PTR)));
+            off += 8;
+        }
+    }
+    lines.push("halt".to_string());
+    TaskRender {
+        create: Vec::new(),
+        targets: vec!["halt".to_string()],
+        lines,
+        body_line: Vec::new(),
+    }
+}
+
+fn render_mid(prog: &GenProgram, t: usize) -> TaskRender {
+    let task = &prog.tasks[t];
+    let d = derive(task, &prog.helpers);
+    let fwd_at = |i: usize| d.forwards.iter().any(|&(_, p)| p == i);
+
+    let mut lines = Vec::new();
+    let mut body_line = Vec::new();
+    let mut targets = Vec::new();
+
+    if let TaskKind::Loop { counter, .. } = task.kind {
+        // Counter increment first, forwarded (Figure 4).
+        lines.push(format!("addiu!f {0}, {0}, 1", reg_name(counter)));
+    }
+
+    let split = task.exit_split();
+    for (i, op) in task.body.iter().enumerate() {
+        if Some(i) == split {
+            let e = task.early_exit.as_ref().expect("split implies early exit");
+            let cond = ["beq", "bne", "blez", "bgtz"][e.cond as usize];
+            let line = if e.cond < 2 {
+                format!("{cond}!st {}, $0, T{}", reg_name(e.reg), e.to)
+            } else {
+                format!("{cond}!st {}, T{}", reg_name(e.reg), e.to)
+            };
+            lines.push(line);
+        }
+        match op {
+            BodyOp::If { cond, reg, arm } => {
+                let b = ["beq", "bne"][*cond as usize];
+                lines.push(format!("{b} {}, $0, S{t}_{i}", reg_name(*reg)));
+                for a in arm {
+                    lines.push(op_line(a, ""));
+                }
+                lines.push(format!("S{t}_{i}:"));
+            }
+            _ => {
+                let fwd = if fwd_at(i) { "!f" } else { "" };
+                lines.push(op_line(op, fwd));
+                body_line.push((i, lines.len() - 1));
+            }
+        }
+    }
+
+    if !task.end_release.is_empty() {
+        let regs: Vec<String> = task.end_release.iter().map(|&r| reg_name(r)).collect();
+        lines.push(format!("release {}", regs.join(", ")));
+    }
+
+    match task.kind {
+        TaskKind::Loop { counter, limit } => {
+            lines.push(format!("bne!s {}, {}, T{t}", reg_name(counter), reg_name(limit)));
+            targets.push(format!("T{t}"));
+            targets.push(format!("T{}", t + 1));
+        }
+        TaskKind::Straight => {
+            lines.push(format!("b!s T{}", t + 1));
+            targets.push(format!("T{}", t + 1));
+        }
+    }
+    if let Some(e) = &task.early_exit {
+        let lbl = format!("T{}", e.to);
+        if !targets.contains(&lbl) {
+            targets.push(lbl);
+        }
+    }
+
+    TaskRender { create: d.create, targets, lines, body_line }
+}
+
+/// Applies the recorded perturbation to the rendered task list.
+fn apply_perturbation(prog: &GenProgram, tasks: &mut [TaskRender]) {
+    let Some(p) = &prog.perturbation else { return };
+    let line_of = |tr: &TaskRender, body_idx: usize| {
+        tr.body_line.iter().find(|&&(b, _)| b == body_idx).map(|&(_, l)| l)
+    };
+    match *p {
+        Perturbation::StaleForward { task, reg } => {
+            let Some((_, early)) =
+                multi_written(&prog.tasks[task]).into_iter().find(|&(r, _)| r == reg)
+            else {
+                return;
+            };
+            if let Some(l) = line_of(&tasks[task], early) {
+                let line = &mut tasks[task].lines[l];
+                if let Some(sp) = line.find(' ') {
+                    line.insert_str(sp, "!f");
+                }
+            }
+        }
+        Perturbation::EarlyRelease { task, reg } => {
+            let Some((_, early)) =
+                multi_written(&prog.tasks[task]).into_iter().find(|&(r, _)| r == reg)
+            else {
+                return;
+            };
+            if let Some(l) = line_of(&tasks[task], early) {
+                tasks[task].lines.insert(l + 1, format!("release {}", reg_name(reg)));
+            }
+        }
+        Perturbation::DropCreate { task, reg } => {
+            tasks[task].create.retain(|&r| r != reg);
+        }
+        Perturbation::DropStop { task } => {
+            if let Some(last) = tasks[task].lines.last_mut() {
+                *last = last.replacen("!s", "", 1);
+            }
+        }
+        Perturbation::DropTarget { task, which } => {
+            if which < tasks[task].targets.len() && tasks[task].targets.len() > 1 {
+                tasks[task].targets.remove(which);
+            }
+        }
+        Perturbation::DropRelease { task } => {
+            tasks[task].lines.retain(|l| !l.starts_with("release "));
+        }
+        Perturbation::InflateCreate { task, reg } => {
+            if !tasks[task].create.contains(&reg) {
+                tasks[task].create.push(reg);
+                tasks[task].create.sort_unstable();
+            }
+        }
+        Perturbation::DropForward { task, reg } => {
+            let d = derive(&prog.tasks[task], &prog.helpers);
+            let Some(&(_, pos)) = d.forwards.iter().find(|&&(r, _)| r == reg) else { return };
+            if pos == COUNTER_FWD {
+                return;
+            }
+            if let Some(l) = line_of(&tasks[task], pos) {
+                let line = &mut tasks[task].lines[l];
+                *line = line.replacen("!f", "", 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Delta-debugging shrinker for failing generated programs.
+//!
+//! Minimization works on the [`GenProgram`] IR, not on assembly text,
+//! so every candidate re-renders to a well-formed program with
+//! re-derived annotations. The strategy is greedy and deterministic
+//! (no randomness): drop whole tasks, then drop body operations, then
+//! simplify what remains — keeping an edit only if the shrunk program
+//! still fails validation the same way (any failing verdict counts).
+
+use crate::diff::{validate_source, ValidateOpts};
+use crate::gen::{render, BodyOp, GenProgram, Perturbation};
+
+/// Bookkeeping from one minimization run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShrinkStats {
+    /// Candidate programs validated.
+    pub attempts: usize,
+    /// Candidates accepted (edits kept).
+    pub accepted: usize,
+}
+
+/// Hard cap on candidate validations per minimization, so a pathological
+/// case cannot stall a corpus run.
+const MAX_ATTEMPTS: usize = 400;
+
+/// Shrinks a failing program to a (locally) minimal one that still
+/// fails. If `start` does not actually fail, it is returned unchanged.
+pub fn minimize(
+    start: &GenProgram,
+    adversarial: bool,
+    opts: &ValidateOpts,
+) -> (GenProgram, ShrinkStats) {
+    let mut stats = ShrinkStats::default();
+    let first = validate_source(&render(start), adversarial, opts);
+    if first.pass {
+        return (start.clone(), stats);
+    }
+    // An edit must preserve the failure *kind*: dropping the write that
+    // feeds a diverging `release` would otherwise morph an interesting
+    // runtime divergence into a boring static reject.
+    let verdict = first.verdict;
+    let mut fails = move |p: &GenProgram, stats: &mut ShrinkStats| -> bool {
+        if stats.attempts >= MAX_ATTEMPTS {
+            return false;
+        }
+        stats.attempts += 1;
+        let out = validate_source(&render(p), adversarial, opts);
+        !out.pass && out.verdict == verdict
+    };
+
+    let mut best = start.clone();
+    loop {
+        let before = stats.accepted;
+        drop_tasks(&mut best, &mut fails, &mut stats);
+        drop_ops(&mut best, &mut fails, &mut stats);
+        simplify(&mut best, &mut fails, &mut stats);
+        if stats.accepted == before || stats.attempts >= MAX_ATTEMPTS {
+            return (best, stats);
+        }
+    }
+}
+
+/// Re-targets a perturbation after mid task `k` was removed. `None`
+/// means the perturbation pointed at the removed task, so the candidate
+/// is not viable.
+fn rewire_perturbation(p: &Perturbation, k: usize) -> Option<Perturbation> {
+    let t = p.task();
+    if t == k {
+        return None;
+    }
+    if t < k {
+        return Some(p.clone());
+    }
+    let mut q = p.clone();
+    match &mut q {
+        Perturbation::StaleForward { task, .. }
+        | Perturbation::EarlyRelease { task, .. }
+        | Perturbation::DropCreate { task, .. }
+        | Perturbation::DropStop { task }
+        | Perturbation::DropTarget { task, .. }
+        | Perturbation::DropRelease { task }
+        | Perturbation::InflateCreate { task, .. }
+        | Perturbation::DropForward { task, .. } => *task -= 1,
+    }
+    Some(q)
+}
+
+fn drop_tasks(
+    best: &mut GenProgram,
+    fails: &mut impl FnMut(&GenProgram, &mut ShrinkStats) -> bool,
+    stats: &mut ShrinkStats,
+) {
+    let mut k = 1;
+    // INIT (0) and FIN (last) are structural; only mid tasks drop.
+    while k < best.tasks.len().saturating_sub(1) {
+        let mut cand = best.clone();
+        cand.tasks.remove(k);
+        for task in &mut cand.tasks {
+            if let Some(e) = &mut task.early_exit {
+                if e.to > k {
+                    e.to -= 1;
+                }
+            }
+        }
+        if let Some(p) = &best.perturbation {
+            match rewire_perturbation(p, k) {
+                Some(q) => cand.perturbation = Some(q),
+                None => {
+                    k += 1;
+                    continue;
+                }
+            }
+        }
+        if fails(&cand, stats) {
+            stats.accepted += 1;
+            *best = cand;
+        } else {
+            k += 1;
+        }
+    }
+}
+
+fn drop_ops(
+    best: &mut GenProgram,
+    fails: &mut impl FnMut(&GenProgram, &mut ShrinkStats) -> bool,
+    stats: &mut ShrinkStats,
+) {
+    for t in 1..best.tasks.len().saturating_sub(1) {
+        let mut i = 0;
+        while i < best.tasks[t].body.len() {
+            let mut cand = best.clone();
+            cand.tasks[t].body.remove(i);
+            if fails(&cand, stats) {
+                stats.accepted += 1;
+                *best = cand;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn simplify(
+    best: &mut GenProgram,
+    fails: &mut impl FnMut(&GenProgram, &mut ShrinkStats) -> bool,
+    stats: &mut ShrinkStats,
+) {
+    let mut try_edit = |best: &mut GenProgram, stats: &mut ShrinkStats, cand: GenProgram| {
+        if cand != *best && fails(&cand, stats) {
+            stats.accepted += 1;
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    for t in 1..best.tasks.len().saturating_sub(1) {
+        if best.tasks[t].early_exit.is_some() {
+            let mut cand = best.clone();
+            cand.tasks[t].early_exit = None;
+            try_edit(best, stats, cand);
+        }
+        if !best.tasks[t].end_release.is_empty() {
+            let mut cand = best.clone();
+            cand.tasks[t].end_release.clear();
+            try_edit(best, stats, cand);
+        }
+        for i in 0..best.tasks[t].body.len() {
+            let simpler = match &best.tasks[t].body[i] {
+                BodyOp::AluImm { kind, rd, ra, imm } if *imm != 0 => {
+                    Some(BodyOp::AluImm { kind: *kind, rd: *rd, ra: *ra, imm: 0 })
+                }
+                BodyOp::Shift { kind, rd, ra, sh } if *sh > 1 => {
+                    Some(BodyOp::Shift { kind: *kind, rd: *rd, ra: *ra, sh: 1 })
+                }
+                BodyOp::If { cond, reg, arm } if arm.len() > 1 => {
+                    Some(BodyOp::If { cond: *cond, reg: *reg, arm: arm[..1].to_vec() })
+                }
+                _ => None,
+            };
+            if let Some(op) = simpler {
+                let mut cand = best.clone();
+                cand.tasks[t].body[i] = op;
+                try_edit(best, stats, cand);
+            }
+        }
+    }
+
+    // Drop helpers nothing calls any more (renumbering the rest).
+    let mut h = 0;
+    while h < best.helpers.len() {
+        let called = best
+            .tasks
+            .iter()
+            .flat_map(|t| &t.body)
+            .any(|op| matches!(op, BodyOp::Call { helper } if *helper as usize == h));
+        if called {
+            h += 1;
+            continue;
+        }
+        let mut cand = best.clone();
+        cand.helpers.remove(h);
+        for task in &mut cand.tasks {
+            for op in &mut task.body {
+                if let BodyOp::Call { helper } = op {
+                    if *helper as usize > h {
+                        *helper -= 1;
+                    }
+                }
+            }
+        }
+        if !try_edit(best, stats, cand) {
+            h += 1;
+        }
+    }
+}

@@ -37,6 +37,12 @@ pub enum EncodeError {
         /// The target address.
         target: u32,
     },
+    /// A `release` is empty or names `$0`: a zero register field encodes
+    /// an empty slot, so the entry would silently vanish from the binary.
+    BadRelease {
+        /// The offending instruction, rendered as text.
+        instr: String,
+    },
 }
 
 impl fmt::Display for EncodeError {
@@ -47,6 +53,9 @@ impl fmt::Display for EncodeError {
             }
             EncodeError::BadTarget { target } => {
                 write!(f, "jump target {target:#x} is unaligned or out of range")
+            }
+            EncodeError::BadRelease { instr } => {
+                write!(f, "`{instr}` is not encodable: a release must name 1..=3 registers, none of them $0")
             }
         }
     }
@@ -168,6 +177,21 @@ fn fits_unsigned(v: i64, bits: u32) -> bool {
     (0..(1i64 << bits)).contains(&v)
 }
 
+/// Validates a shift amount (0..=63) and maps it into a 6-bit register
+/// field. Out-of-range amounts are a caller bug: silently wrapping them
+/// would encode a different program than the one requested.
+fn shamt(sh: u8, text: &Instr) -> Result<Reg, EncodeError> {
+    debug_assert!(sh < 64, "shift amount {sh} out of range in `{text}`");
+    if sh >= 64 {
+        return Err(EncodeError::ImmOutOfRange {
+            instr: text.to_string(),
+            value: sh as i64,
+            bits: 6,
+        });
+    }
+    Ok(Reg::from_index(sh as usize).unwrap())
+}
+
 fn i12(op: u8, a: Reg, b: Reg, imm: i32, signed: bool, text: &Instr) -> Result<u32, EncodeError> {
     let ok = if signed { fits_signed(imm as i64, 12) } else { fits_unsigned(imm as i64, 12) };
     if !ok {
@@ -214,9 +238,9 @@ pub fn encode(instr: &Instr) -> Result<(u32, u8), EncodeError> {
         Xori { rt, rs, imm } => i12(XORI, rt, rs, imm, false, instr)?,
         Slti { rt, rs, imm } => i12(SLTI, rt, rs, imm, true, instr)?,
         Sltiu { rt, rs, imm } => i12(SLTIU, rt, rs, imm, true, instr)?,
-        Sll { rd, rt, sh } => r3(SLL, rd, rt, Reg::from_index(sh as usize & 63).unwrap()),
-        Srl { rd, rt, sh } => r3(SRL, rd, rt, Reg::from_index(sh as usize & 63).unwrap()),
-        Sra { rd, rt, sh } => r3(SRA, rd, rt, Reg::from_index(sh as usize & 63).unwrap()),
+        Sll { rd, rt, sh } => r3(SLL, rd, rt, shamt(sh, instr)?),
+        Srl { rd, rt, sh } => r3(SRL, rd, rt, shamt(sh, instr)?),
+        Sra { rd, rt, sh } => r3(SRA, rd, rt, shamt(sh, instr)?),
         Lui { rt, imm } => {
             if !fits_signed(imm as i64, 18) {
                 return Err(EncodeError::ImmOutOfRange {
@@ -296,7 +320,16 @@ pub fn encode(instr: &Instr) -> Result<(u32, u8), EncodeError> {
         Dmfc1 { rt, fs } => r3(DMFC1, rt, fs, Reg::ZERO),
         Release { regs } => {
             let mut fields = [0u32; 3];
+            if regs.is_empty() {
+                return Err(EncodeError::BadRelease { instr: instr.to_string() });
+            }
             for (i, r) in regs.iter().enumerate() {
+                debug_assert!(r.index() != 0, "release of $0 in `{instr}`");
+                if r.index() == 0 {
+                    // A zero field is an empty slot: the entry would be
+                    // silently dropped on decode.
+                    return Err(EncodeError::BadRelease { instr: instr.to_string() });
+                }
                 fields[i] = r.index() as u32;
             }
             ((RELEASE as u32) << 24) | (fields[0] << 18) | (fields[1] << 12) | (fields[2] << 6)
@@ -458,6 +491,11 @@ pub fn decode(word: u32, tag: u8) -> Result<Instr, DecodeError> {
                     regs.push(Reg::from_index(v).ok_or(DecodeError::BadReg(v as u8))?);
                 }
             }
+            if regs.is_empty() {
+                // All-zero fields: `encode` never produces this (it rejects
+                // empty releases), so the word is corrupt.
+                return Err(DecodeError::BadReg(0));
+            }
             Release { regs }
         }
         other => return Err(DecodeError::BadOpcode(other)),
@@ -519,6 +557,23 @@ mod tests {
         assert!(matches!(encode(&i), Err(EncodeError::ImmOutOfRange { .. })));
         let j = Instr::new(Op::J { target: 3 });
         assert!(matches!(encode(&j), Err(EncodeError::BadTarget { .. })));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "shift amount")]
+    fn out_of_range_shift_panics_in_debug() {
+        // Shift amounts must never be silently masked: a wrapped amount
+        // encodes a different program than the one requested.
+        let _ = encode(&Instr::new(Op::Sll { rd: Reg::int(2), rt: Reg::int(3), sh: 64 }));
+    }
+
+    #[test]
+    fn empty_release_is_not_encodable() {
+        let e = encode(&Instr::new(Op::Release { regs: RegList::EMPTY })).unwrap_err();
+        assert!(matches!(e, EncodeError::BadRelease { .. }), "{e}");
+        // And the all-zero-fields release word does not decode.
+        assert!(decode((opc::RELEASE as u32) << 24, 0).is_err());
     }
 
     #[test]

@@ -605,7 +605,12 @@ impl Op {
             | Slti { rs, .. }
             | Sltiu { rs, .. } => RegList::from_slice(&[rs]),
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => RegList::from_slice(&[rt]),
-            Lui { .. } | J { .. } | Jal { .. } | Halt | Nop | Release { .. } => RegList::EMPTY,
+            Lui { .. } | J { .. } | Jal { .. } | Halt | Nop => RegList::EMPTY,
+            // A release reads every register it broadcasts: without
+            // these sources the out-of-order hazard check would let it
+            // issue past an older in-flight write and send a stale
+            // value to every successor task.
+            Release { regs } => regs,
             Load { base, .. } => RegList::from_slice(&[base]),
             Store { rt, base, .. } => RegList::from_slice(&[rt, base]),
             Beq { rs, rt, .. } | Bne { rs, rt, .. } => RegList::from_slice(&[rs, rt]),

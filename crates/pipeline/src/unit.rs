@@ -592,21 +592,28 @@ impl ProcessingUnit {
         if slot_ref.ready_from > now {
             return Err(Blocked::NotDecoded);
         }
-        // Operand readiness.
-        let mut remote = false;
-        let mut local = false;
-        for r in slot_ref.meta.uses.iter() {
-            match self.regs.status(r, now) {
-                ReadStatus::Ready => {}
-                ReadStatus::WaitLocal => local = true,
-                ReadStatus::WaitRemote => remote = true,
+        // Operand readiness. A release is exempt: a register that has
+        // not arrived yet is passed through on arrival (see the
+        // `release_on_arrival` handling at execute) rather than stalling
+        // issue — its sources still participate in the out-of-order
+        // hazard checks below so it cannot slip past an older writer.
+        let is_release = matches!(slot_ref.instr.op, Op::Release { .. });
+        if !is_release {
+            let mut remote = false;
+            let mut local = false;
+            for r in slot_ref.meta.uses.iter() {
+                match self.regs.status(r, now) {
+                    ReadStatus::Ready => {}
+                    ReadStatus::WaitLocal => local = true,
+                    ReadStatus::WaitRemote => remote = true,
+                }
             }
-        }
-        if remote {
-            return Err(Blocked::WaitRemote);
-        }
-        if local {
-            return Err(Blocked::WaitLocal);
+            if remote {
+                return Err(Blocked::WaitRemote);
+            }
+            if local {
+                return Err(Blocked::WaitLocal);
+            }
         }
         // Out-of-order hazards against older, unissued instructions.
         if self.cfg.ooo && idx > 0 {

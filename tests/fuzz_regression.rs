@@ -1,0 +1,89 @@
+//! Pinned regression tests for bugs found by the `ms-fuzz` differential
+//! fuzzer. Each test embeds the minimized `.s` repro checked in under
+//! `tests/repros/` so the bug stays fixed even if the generator or the
+//! corpus seeds drift.
+
+use ms_asm::{assemble, AsmMode};
+use ms_cfg::{check_program, Severity};
+use ms_fuzz::diff::{validate_source, ValidateOpts};
+use multiscalar::{Processor, ScalarProcessor, SimConfig};
+
+const OOO_RELEASE_RAW: &str = include_str!("repros/ooo_release_raw.s");
+const STALE_FORWARD: &str = include_str!("repros/stale_forward.s");
+
+fn opts() -> ValidateOpts {
+    ValidateOpts { max_cycles: 1_000_000, watchdog: 200_000 }
+}
+
+/// The out-of-order release RAW bug (`msfuzz --repro-seed
+/// 4298001007915928899`): `release` declared no source registers, so
+/// the OoO hazard check let it issue past the older callee writes to
+/// $2/$3 and broadcast stale values. The full differential harness must
+/// now accept the repro at every configuration point.
+#[test]
+fn ooo_release_reads_its_registers_before_issuing() {
+    let outcome = validate_source(OOO_RELEASE_RAW, false, &opts());
+    assert!(outcome.pass, "repro failed again: {} ({})", outcome.verdict, outcome.detail);
+    assert_eq!(outcome.verdict, "ok");
+}
+
+/// The same repro checked directly at the configuration that exposed
+/// the bug: four units, out-of-order, single issue. Final $2 comes from
+/// the last loop iteration's `sltu` inside the callee and must match
+/// the scalar reference.
+#[test]
+fn ooo_release_repro_matches_scalar_at_four_units() {
+    let ms = assemble(OOO_RELEASE_RAW, AsmMode::Multiscalar).expect("assemble ms");
+    let sc = assemble(OOO_RELEASE_RAW, AsmMode::Scalar).expect("assemble scalar");
+    let cfg = SimConfig::multiscalar(4).out_of_order(true).max_cycles(1_000_000);
+    let mut p = Processor::new(ms, cfg).expect("build ms");
+    p.run().expect("ms run");
+    let mut s =
+        ScalarProcessor::new(sc, SimConfig::scalar().max_cycles(1_000_000)).expect("build scalar");
+    s.run().expect("scalar run");
+    let regs = p.final_regs().expect("halted");
+    let r2 = ms_isa::Reg::int(2);
+    assert_eq!(regs[2], s.reg(r2), "$2 diverged from the scalar reference again");
+}
+
+/// The stale-forward annotation bug class: a forward bit on a
+/// non-final write used to pass the checker silently while the
+/// simulator sent the stale value to every successor. The checker's
+/// stale-communication rule must reject the minimized repro.
+#[test]
+fn stale_forward_repro_is_rejected_statically() {
+    let prog = assemble(STALE_FORWARD, AsmMode::Multiscalar).expect("assemble ms");
+    let report = check_program(&prog);
+    let errors: Vec<String> = report.of_severity(Severity::Error).map(|d| d.to_string()).collect();
+    assert!(!errors.is_empty(), "the stale forward went unflagged again");
+    assert!(
+        errors.iter().any(|e| e.contains("stale")),
+        "expected a stale-communication diagnostic, got: {errors:?}"
+    );
+    // Under adversarial expectations the harness counts this as caught.
+    let outcome = validate_source(STALE_FORWARD, true, &opts());
+    assert!(outcome.pass);
+    assert_eq!(outcome.verdict, "caught-static");
+}
+
+/// Documents *why* the stale forward must be a static error: run
+/// unchecked, the multiscalar result really does diverge (successors see
+/// the forwarded 1, the scalar reference computes 2).
+#[test]
+fn stale_forward_repro_really_diverges_at_runtime() {
+    let ms = assemble(STALE_FORWARD, AsmMode::Multiscalar).expect("assemble ms");
+    let sc = assemble(STALE_FORWARD, AsmMode::Scalar).expect("assemble scalar");
+    let out = ms.symbol("out").expect("out symbol");
+    let mut p =
+        Processor::new(ms, SimConfig::multiscalar(4).max_cycles(100_000)).expect("build ms");
+    p.run().expect("ms run");
+    let mut s =
+        ScalarProcessor::new(sc, SimConfig::scalar().max_cycles(100_000)).expect("build scalar");
+    s.run().expect("scalar run");
+    assert_eq!(s.memory().read_le(out, 8), 2, "scalar reference result changed");
+    assert_eq!(
+        p.memory().read_le(out, 8),
+        1,
+        "the multiscalar run no longer shows the stale forward; update this pin"
+    );
+}

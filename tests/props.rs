@@ -133,6 +133,29 @@ proptest! {
         }
         prop_assert_eq!(val, v as u64);
     }
+
+    #[test]
+    fn wide_release_disassembly_round_trips(
+        regs in proptest::collection::vec(1usize..64, 1..=8),
+        stop in prop_oneof![Just(""), Just("!s")],
+    ) {
+        // `release` with more than RegList::CAPACITY registers is chunked
+        // into several instructions (tags on the last); the disassembler's
+        // output must reassemble to the identical binary.
+        let list =
+            regs.iter().map(|&i| Reg::from_index(i).unwrap().to_string()).collect::<Vec<_>>();
+        let create: RegMask = regs.iter().map(|&i| Reg::from_index(i).unwrap()).collect();
+        let src = format!(
+            ".text\nmain:\n.task targets=halt create={create}\nA:\n    release{stop} {}\n    halt\n",
+            list.join(", ")
+        );
+        let p1 = assemble(&src, AsmMode::Multiscalar).expect("assembles");
+        let regen = ms_asm::program_to_source(&p1);
+        let p2 = assemble(&regen, AsmMode::Multiscalar)
+            .unwrap_or_else(|e| panic!("regenerated source fails: {e}\n{regen}"));
+        prop_assert_eq!(&p1.text, &p2.text, "text differs\n{}", regen);
+        prop_assert_eq!(&p1.tasks, &p2.tasks);
+    }
 }
 
 /// Sequential oracle for the ARB: per-stage write buffers over memory,

@@ -1,0 +1,58 @@
+; Minimized by the msfuzz delta-debugging shrinker from
+; `msfuzz --repro-seed 4298001007915928899` (corpus `--seed 0xF00D`,
+; case #36).
+;
+; Repro for the out-of-order release RAW bug: `Op::uses()` declared no
+; source registers for `release`, so with `out_of_order(true)` the
+; hazard check let `release $2, $3` issue before the older in-flight
+; writes to $2/$3 inside the `jal H0` callee. The release then
+; broadcast the *inbound* (stale) $2 to every later loop iteration and
+; the final register file ended with $2 = 0 where the scalar reference
+; has 1. In-order configurations masked the bug; it needed >= 4 units
+; so a full loop iteration ran per unit.
+.data
+arr: .word 841997033, 138924211, 428285726, 2093754970, 486485115, 524687602, 1779769724, 2302805527, 2262571532, 2503337760, 2778311057, 1029382438, 1795651563, 3453223691, 2551719817, 2215886786, 3097643611, 1272986478, 405359025, 3155226496, 1352862238, 4054015421, 1978665544, 3737702784, 408708687, 1052176062, 1767908138, 363483250, 74792093, 3052387733, 510508359, 1001484695
+out: .space 128
+
+.text
+main:
+.task targets=T1 create=$8,$9,$10,$11,$12,$13,$14,$15,$16,$20,$24,$25
+T0:
+    la!f $24, arr
+    la!f $25, out
+    li!f $8, -1773
+    li!f $9, -1880
+    li!f $10, -1315
+    li!f $11, -292
+    li!f $12, -13
+    li!f $13, -708
+    li!f $14, -596
+    li!f $15, 684
+    li!f $20, 0
+    li!f $16, 4
+    b!s T1
+.task targets=T1,T2 create=$2,$3,$11,$14,$20,$31
+T1:
+    addiu!f $20, $20, 1
+    or!f $11, $10, $14
+    jal H0
+    lbu!f $14, 92($24)
+    release $2, $3
+    bne!s $20, $16, T1
+.task targets=halt create=
+T2:
+    sd $8, 0($25)
+    sd $9, 8($25)
+    sd $10, 16($25)
+    sd $11, 24($25)
+    sd $12, 32($25)
+    sd $13, 40($25)
+    sd $14, 48($25)
+    sd $15, 56($25)
+    sd $20, 64($25)
+    halt
+H0:
+    subu $2, $13, $13
+    xor $3, $2, $9
+    sltu $2, $2, $11
+    jr $31

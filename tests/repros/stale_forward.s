@@ -1,0 +1,26 @@
+; Minimal repro for the stale-forward annotation bug class the fuzzer's
+; adversarial mode seeds (and real annotation passes can emit): the
+; forward bit sits on an *earlier* write of $2, the later write never
+; reaches successors (one send per register per task), and the program
+; silently computes 1 where the scalar reference computes 2.
+;
+; `ms-cfg::check_program` must reject this statically: the write at A+4
+; makes the forwarded value provably stale on every path.
+.data
+out: .space 8
+
+.text
+main:
+.task targets=A create=$9
+T0:
+    la!f $9, out
+    b!s A
+.task targets=B create=$2
+A:
+    li!f $2, 1
+    addiu $2, $2, 1
+    b!s B
+.task targets=halt create=
+B:
+    sd $2, 0($9)
+    halt

@@ -87,3 +87,22 @@ fn speedup_ordering_matches_the_paper_shape() {
     assert!(xlisp < 1.5, "xlisp must not scale, got {xlisp:.2}");
     assert!(cmp > xlisp);
 }
+
+#[test]
+fn taskcheck_accepts_every_builtin_workload() {
+    // The static annotation checker must agree with the hand-written
+    // annotations of the whole suite: zero error-severity diagnostics.
+    use ms_asm::AsmMode;
+    use ms_cfg::{check_program, Severity};
+    for w in suite(Scale::Test) {
+        let prog = w.assemble(AsmMode::Multiscalar).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let report = check_program(&prog);
+        let errors: Vec<_> = report.of_severity(Severity::Error).collect();
+        assert!(
+            errors.is_empty(),
+            "{}: taskcheck errors:\n{}",
+            w.name,
+            errors.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
