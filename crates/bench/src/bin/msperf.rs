@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p ms-bench --bin msperf -- \
 //!     [--workloads a,b,...] [--scale test|full] \
-//!     [--machines scalar,ms4,ms8] [--reps N] [--out PATH]
+//!     [--machines scalar,ms4,ms8] [--reps N] [--out PATH] [--cpi]
 //! ```
 //!
 //! Times each (workload, machine) point for `--reps` repetitions
@@ -14,14 +14,21 @@
 //! measure the full suite at full scale on scalar/ms4/ms8 — the same
 //! grid the Table 3 sweep pays for, so these numbers predict sweep
 //! turnaround.
+//!
+//! With `--cpi`, multiscalar points are timed with live CPI-stack
+//! accounting (`run_multiscalar_with_accountant`). CI runs msperf with
+//! and without this flag and asserts the accounted timings regress by
+//! less than 2%, bounding the cost of leaving accounting on in sweeps.
 
-use ms_bench::perf::{measure, perf_to_json, render_perf, MachineSpec, PerfPoint};
+use ms_bench::perf::{
+    measure, measure_accounted, perf_to_json, render_perf, MachineSpec, PerfPoint,
+};
 use ms_workloads::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: msperf [--workloads a,b,...] [--scale test|full] \
-         [--machines scalar,ms4,ms8] [--reps N] [--out PATH]"
+         [--machines scalar,ms4,ms8] [--reps N] [--out PATH] [--cpi]"
     );
     std::process::exit(2);
 }
@@ -32,6 +39,7 @@ fn main() {
     let mut machines = MachineSpec::defaults();
     let mut reps = 3usize;
     let mut out_path = "BENCH_perf.json".to_string();
+    let mut cpi = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -82,6 +90,7 @@ fn main() {
                     usage()
                 });
             }
+            "--cpi" => cpi = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 usage();
@@ -106,7 +115,8 @@ fn main() {
     let mut points: Vec<PerfPoint> = Vec::new();
     for w in &selected {
         for m in &machines {
-            match measure(w, m, reps) {
+            let point = if cpi { measure_accounted(w, m, reps) } else { measure(w, m, reps) };
+            match point {
                 Ok(p) => points.push(p),
                 Err(e) => {
                     eprintln!("{} on {}: {e}", w.name, m.name);

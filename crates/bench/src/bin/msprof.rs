@@ -1,0 +1,174 @@
+//! `msprof` — CPI-stack profiler for the simulated machine.
+//!
+//! ```text
+//! cargo run --release -p ms-bench --bin msprof -- \
+//!     run [--workloads a,b,...] [--scale test|full] [--machines ms4,ms8] \
+//!         [--out PATH] [--csv PATH] [--quiet]
+//! cargo run --release -p ms-bench --bin msprof -- diff OLD.json NEW.json
+//! ```
+//!
+//! `msprof run` executes each (workload, machine) point with a live
+//! cycle accountant, prints the per-point CPI-stack tables, and records
+//! the profile as `multiscalar-prof/v1` JSON (default `BENCH_prof.json`;
+//! `--csv` additionally writes the flat bucket matrix). Every number in
+//! the profile is a simulated quantity, so the output is byte-identical
+//! across runs of the same build — CI `cmp`s two runs to enforce this.
+//!
+//! `msprof diff` reads two recorded profiles and prints where the
+//! unit-cycles moved: per shared point the cycle/CPI change plus every
+//! bucket whose count changed, with its CPI contribution. This replaces
+//! ad-hoc before/after notes in PERFORMANCE.md — record a profile on
+//! `main`, record one on your branch, and diff them.
+//!
+//! Machines must be multiscalar (`ms<N>`): the scalar baseline has no
+//! unit queue and no stall-attribution path to profile.
+
+use ms_bench::perf::MachineSpec;
+use ms_bench::prof::{
+    diff_profiles, parse_profile, profile, profile_to_csv, profile_to_json, render_profile,
+    ProfPoint,
+};
+use ms_workloads::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: msprof run [--workloads a,b,...] [--scale test|full] \
+         [--machines ms4,ms8] [--out PATH] [--csv PATH] [--quiet]\n       \
+         msprof diff OLD.json NEW.json"
+    );
+    std::process::exit(2);
+}
+
+fn cmd_run(args: &[String]) {
+    let mut workloads: Option<Vec<String>> = None;
+    let mut scale = Scale::Full;
+    let mut machines: Vec<MachineSpec> =
+        ["ms4", "ms8"].iter().map(|n| MachineSpec::parse(n).unwrap()).collect();
+    let mut out_path = "BENCH_prof.json".to_string();
+    let mut csv_path: Option<String> = None;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--workloads" => {
+                workloads =
+                    Some(value("--workloads").split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--scale" => {
+                let v = value("--scale");
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{v}` (use test|full)");
+                    usage()
+                });
+            }
+            "--machines" => {
+                machines = value("--machines")
+                    .split(',')
+                    .map(|name| {
+                        let m = MachineSpec::parse(name.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown machine `{name}` (use ms<N>)");
+                            usage()
+                        });
+                        if !m.multiscalar {
+                            eprintln!(
+                                "msprof profiles multiscalar machines only; \
+                                 `{name}` has no CPI stack"
+                            );
+                            usage();
+                        }
+                        m
+                    })
+                    .collect();
+            }
+            "--out" => out_path = value("--out"),
+            "--csv" => csv_path = Some(value("--csv")),
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let suite = ms_workloads::suite(scale);
+    let selected: Vec<_> = match &workloads {
+        None => suite.iter().collect(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                suite.iter().find(|w| w.name.eq_ignore_ascii_case(n)).unwrap_or_else(|| {
+                    eprintln!("unknown workload `{n}`");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+
+    let mut points: Vec<ProfPoint> = Vec::new();
+    for w in &selected {
+        for m in &machines {
+            match profile(w, m) {
+                Ok(p) => points.push(p),
+                Err(e) => {
+                    eprintln!("{} on {}: {e}", w.name, m.name);
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    if !quiet {
+        print!("{}", render_profile(&points));
+    }
+
+    let json = profile_to_json(scale.id(), &points);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path} ({} points)", points.len());
+
+    if let Some(path) = csv_path {
+        if let Err(e) = std::fs::write(&path, profile_to_csv(&points)) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}
+
+fn cmd_diff(args: &[String]) {
+    let [old_path, new_path] = args else { usage() };
+    let load = |path: &String| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(1);
+        });
+        parse_profile(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    if old.scale != new.scale {
+        eprintln!("note: profiles taken at different scales ({} vs {})", old.scale, new.scale);
+    }
+    print!("{}", diff_profiles(&old, &new));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "run" => cmd_run(rest),
+        Some((cmd, rest)) if cmd == "diff" => cmd_diff(rest),
+        _ => usage(),
+    }
+}

@@ -9,7 +9,7 @@
 //!     [--workloads wc,cmp,...] [--scale test|full] [--widths 1,2] \
 //!     [--units 4,8] [--order inorder|ooo|both] [--jobs N] \
 //!     [--out-dir DIR] [--cache-dir DIR] [--no-cache] [--metrics] \
-//!     [--quiet] [--list]
+//!     [--cpi] [--quiet] [--list]
 //! ```
 //!
 //! Defaults reproduce the paper's full Table 3 + Table 4 design space.
@@ -21,6 +21,12 @@
 //!   accuracy) in the same format as `tables --json`,
 //! * `metrics/` (with `--metrics`) — one `ms_trace::MetricsReport` JSON
 //!   per executed multiscalar job.
+//!
+//! With `--cpi`, every multiscalar design point runs with a live cycle
+//! accountant and its `results.json` entry gains a `"cpi"` object (the
+//! conservation-checked CPI stack). Cache keys and cached bytes are
+//! unaffected; multiscalar points simply bypass the cache probe, as with
+//! `--metrics`.
 //!
 //! All artifacts are byte-identical regardless of `--jobs` and of
 //! whether points came from the cache. The cache lives in
@@ -48,7 +54,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mssweep [--workloads a,b,c] [--scale test|full] [--widths 1,2] \
          [--units 4,8] [--order inorder|ooo|both] [--jobs N] [--out-dir DIR] \
-         [--cache-dir DIR] [--no-cache] [--metrics] [--quiet]\n       mssweep --list"
+         [--cache-dir DIR] [--no-cache] [--metrics] [--cpi] [--quiet]\n       mssweep --list"
     );
     std::process::exit(2);
 }
@@ -69,6 +75,7 @@ fn parse_args() -> Args {
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
     let mut metrics = false;
+    let mut cpi = false;
     let mut quiet = false;
 
     let mut it = std::env::args().skip(1);
@@ -119,6 +126,7 @@ fn parse_args() -> Args {
             "--cache-dir" => cache_dir = Some(value("--cache-dir")),
             "--no-cache" => no_cache = true,
             "--metrics" => metrics = true,
+            "--cpi" => cpi = true,
             "--quiet" => quiet = true,
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -140,6 +148,7 @@ fn parse_args() -> Args {
         cache,
         progress: !quiet,
         metrics_dir: metrics.then(|| out_dir.join("metrics")),
+        cpi,
     };
     Args { spec, opts, out_dir, quiet }
 }

@@ -12,16 +12,27 @@
 //!   squash-wave instants, ARB occupancy counter. Load in Perfetto or
 //!   `chrome://tracing`.
 //! * `report.json` — the [`ms_trace::MetricsReport`] (event-derived
-//!   counters and histograms) next to the simulator's own `RunStats`,
-//!   after cross-checking that the two agree.
+//!   counters and histograms) next to the simulator's own `RunStats`
+//!   and the run's CPI stack, after cross-checking that all three agree.
 //! * `trace.jsonl` (with `--jsonl`) — one JSON object per trace event.
 //!
-//! Exits non-zero if the event-derived counters do not reconcile with the
-//! simulator's aggregate statistics.
+//! The run always carries a live cycle accountant, and reconciliation
+//! checks the resulting `CpiStack` three ways: the conservation
+//! invariant (every unit-cycle in exactly one bucket), bucket-for-bucket
+//! agreement with the event-derived `MetricsReport` stall counters for
+//! every event-backed reason, and zero event counts for the
+//! accountant-only buckets (`no_task`, `squash_recovery` — idle units
+//! emit no `UnitStall` events). Exits non-zero with the exact
+//! disagreements if any counter fails to reconcile — the trace layer,
+//! the aggregate statistics, and the cycle-accounting layer are three
+//! independent observers of one simulation and must never silently
+//! diverge.
 
-use ms_trace::{ChromeTraceSink, JsonLinesSink, MetricsReport, MetricsSink, TeeSink};
+use ms_trace::{
+    ChromeTraceSink, CpiStack, JsonLinesSink, MetricsReport, MetricsSink, StallReason, TeeSink,
+};
 use ms_workloads::Scale;
-use multiscalar::{RunStats, SimConfig};
+use multiscalar::{CpiAccountant, RunStats, SimConfig};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -128,11 +139,49 @@ fn reconcile(m: &MetricsReport, s: &RunStats) -> Vec<String> {
         ("descriptor_misses", desc_misses, s.descriptor_cache.1),
         ("task_len_instrs.sum", m.task_len_instrs.sum(), s.instructions),
     ];
-    pairs
+    let mut mismatches: Vec<String> = pairs
         .iter()
         .filter(|(_, ev, st)| ev != st)
         .map(|(name, ev, st)| format!("{name}: events say {ev}, RunStats says {st}"))
-        .collect()
+        .collect();
+
+    match &s.cpi {
+        None => mismatches.push("cpi: accountant produced no CpiStack".to_string()),
+        Some(cpi) => mismatches.extend(reconcile_cpi(m, cpi)),
+    }
+    mismatches
+}
+
+/// Cross-checks the cycle-accounting stack against the event-derived
+/// stall counters. Every stall reason a unit can report while holding a
+/// task is event-backed — the accountant and the `UnitStall` stream
+/// observe the same per-cycle classification, so their per-reason totals
+/// must be identical. `no_task` and `squash_recovery` are charged only
+/// by the accountant (an unoccupied unit emits no events), so their
+/// event counts must be zero.
+fn reconcile_cpi(m: &MetricsReport, cpi: &CpiStack) -> Vec<String> {
+    let mut out = Vec::new();
+    if !cpi.conservation_holds() {
+        out.push(format!(
+            "cpi conservation: accounted {} of {} unit-cycles",
+            cpi.accounted_unit_cycles(),
+            cpi.total_unit_cycles()
+        ));
+    }
+    for r in StallReason::ALL {
+        let acct = cpi.stall_cycles[r.index()];
+        let ev = m.stall_cycles[r.index()];
+        let accountant_only = matches!(r, StallReason::NoTask | StallReason::SquashRecovery);
+        let expected_ev = if accountant_only { 0 } else { acct };
+        if ev != expected_ev {
+            out.push(format!(
+                "cpi.{}: events say {ev}, accountant says {acct}{}",
+                r.as_str(),
+                if accountant_only { " (accountant-only bucket; events must be 0)" } else { "" }
+            ));
+        }
+    }
+    out
 }
 
 fn write_report(
@@ -155,6 +204,9 @@ fn write_report(
         mismatches.is_empty(),
     )?;
     write!(f, "\"stats\":{},", stats_to_json(stats))?;
+    if let Some(cpi) = &stats.cpi {
+        write!(f, "\"cpi\":{},", cpi.to_json())?;
+    }
     write!(f, "\"metrics\":{}}}", metrics.to_json())?;
     f.flush()
 }
@@ -199,7 +251,7 @@ fn main() -> ExitCode {
     );
 
     let cfg = SimConfig::multiscalar(args.units);
-    let (stats, sink) = match w.run_multiscalar_with_sink(cfg, sink) {
+    let (stats, sink) = match w.run_multiscalar_instrumented(cfg, sink, CpiAccountant::new()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{}: {e}", w.name);
@@ -242,7 +294,7 @@ fn main() -> ExitCode {
     println!("wrote {}", report_path.display());
 
     if mismatches.is_empty() {
-        println!("reconciliation: event counters match RunStats");
+        println!("reconciliation: event counters match RunStats and the CPI stack conserves");
         ExitCode::SUCCESS
     } else {
         eprintln!("reconciliation FAILED:");

@@ -21,6 +21,11 @@
 //! The [`perf`] module (and its `msperf` CLI) measures the *simulator's
 //! own* throughput — wall seconds, simulated cycles/sec — and emits
 //! `BENCH_perf.json`; see `PERFORMANCE.md`.
+//!
+//! The [`prof`] module (and its `msprof` CLI) profiles the *simulated*
+//! machine instead: conservation-checked CPI stacks per workload ×
+//! machine, recorded as `multiscalar-prof/v1` JSON and diffable across
+//! builds; see the "Profiling" section of the README.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -30,6 +35,7 @@
 #![allow(clippy::result_large_err)]
 
 pub mod perf;
+pub mod prof;
 
 use ms_asm::AsmMode;
 use ms_sweep::{run_sweep, JobFailure, JobKind, SweepOptions, SweepReport, SweepSpec};

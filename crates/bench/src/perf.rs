@@ -44,7 +44,7 @@
 //! which this harness treats as an error, not a data point.
 
 use ms_workloads::{Workload, WorkloadError};
-use multiscalar::SimConfig;
+use multiscalar::{CpiAccountant, SimConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -140,12 +140,45 @@ impl PerfPoint {
 /// Panics if repetitions disagree on simulated cycle or instruction
 /// counts (the simulator must be deterministic).
 pub fn measure(w: &Workload, m: &MachineSpec, reps: usize) -> Result<PerfPoint, WorkloadError> {
+    measure_with(w, m, reps, false)
+}
+
+/// [`measure`] with live CPI-stack accounting on multiscalar runs.
+///
+/// Times the *accounting-enabled* simulation path
+/// (`run_multiscalar_with_accountant`) instead of the default
+/// `NoAccounting` path; the scalar baseline is timed unchanged (it has
+/// no accountant). CI compares this against [`measure`] to bound the
+/// runtime cost of cycle accounting — the zero-cost claim for the
+/// *disabled* path is structural (monomorphization), but the *enabled*
+/// path must also stay cheap enough to leave on in sweeps.
+///
+/// # Errors
+/// Propagates assembly/simulation/validation failures.
+pub fn measure_accounted(
+    w: &Workload,
+    m: &MachineSpec,
+    reps: usize,
+) -> Result<PerfPoint, WorkloadError> {
+    measure_with(w, m, reps, true)
+}
+
+fn measure_with(
+    w: &Workload,
+    m: &MachineSpec,
+    reps: usize,
+    accounted: bool,
+) -> Result<PerfPoint, WorkloadError> {
     assert!(reps > 0, "msperf needs at least one repetition");
     let mut wall_secs = Vec::with_capacity(reps);
     let mut counts: Option<(u64, u64)> = None;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let stats = if m.multiscalar { w.run_multiscalar(m.cfg) } else { w.run_scalar(m.cfg) }?;
+        let stats = match (m.multiscalar, accounted) {
+            (true, false) => w.run_multiscalar(m.cfg),
+            (true, true) => w.run_multiscalar_with_accountant(m.cfg, CpiAccountant::new()),
+            (false, _) => w.run_scalar(m.cfg),
+        }?;
         wall_secs.push(t0.elapsed().as_secs_f64());
         let got = (stats.cycles, stats.instructions);
         match counts {
@@ -248,6 +281,18 @@ mod tests {
         assert!(MachineSpec::parse("vliw").is_none());
         assert!(MachineSpec::parse("ms").is_none());
         assert_eq!(MachineSpec::defaults().len(), 3);
+    }
+
+    #[test]
+    fn accounted_measurement_is_cycle_identical() {
+        let w = ms_workloads::by_name("Wc", Scale::Test).unwrap();
+        let m = MachineSpec::parse("ms4").unwrap();
+        let plain = measure(&w, &m, 1).unwrap();
+        let acct = measure_accounted(&w, &m, 1).unwrap();
+        // Accounting is observational: it must not perturb the
+        // simulated machine.
+        assert_eq!(plain.sim_cycles, acct.sim_cycles);
+        assert_eq!(plain.instructions, acct.instructions);
     }
 
     #[test]

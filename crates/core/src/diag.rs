@@ -30,6 +30,10 @@ pub struct UnitDiag {
     /// Why the unit issued nothing on its last stalled cycle (`None`
     /// while issuing, or before the first stall).
     pub stall: Option<StallReason>,
+    /// Cumulative stalled cycles per reason over the unit's lifetime
+    /// (across task assignments), indexed by [`StallReason::index`]. The
+    /// last-stall field above is one frame; this is the whole film.
+    pub stall_hist: [u64; StallReason::COUNT],
 }
 
 /// The head (oldest in-flight) task at snapshot time.
@@ -127,8 +131,18 @@ impl DiagnosticSnapshot {
                 Some(r) => json::string(r.as_str()),
                 None => "null".into(),
             };
+            let mut hist = String::from("{");
+            for (ri, r) in StallReason::ALL.iter().enumerate() {
+                if ri > 0 {
+                    hist.push(',');
+                }
+                json::push_str(&mut hist, r.as_str());
+                hist.push(':');
+                hist.push_str(&u.stall_hist[ri].to_string());
+            }
+            hist.push('}');
             units.push_str(&format!(
-                "{{\"unit\":{},\"active\":{},\"order\":{},\"entry\":{},\"complete\":{},\"awaiting\":{},\"stall\":{}}}",
+                "{{\"unit\":{},\"active\":{},\"order\":{},\"entry\":{},\"complete\":{},\"awaiting\":{},\"stall\":{},\"stall_hist\":{}}}",
                 u.unit,
                 u.active,
                 u.order.map_or("null".into(), |o| o.to_string()),
@@ -136,6 +150,7 @@ impl DiagnosticSnapshot {
                 u.complete,
                 u.awaiting,
                 stall,
+                hist,
             ));
         }
         units.push(']');
@@ -180,7 +195,7 @@ impl fmt::Display for DiagnosticSnapshot {
         }
         for u in &self.units {
             if u.active {
-                writeln!(
+                write!(
                     f,
                     "u{}: #{} @{:#x} complete={} awaiting={} stall={}",
                     u.unit,
@@ -191,8 +206,25 @@ impl fmt::Display for DiagnosticSnapshot {
                     u.stall.map_or("-", StallReason::as_str),
                 )?;
             } else {
-                writeln!(f, "u{}: idle", u.unit)?;
+                write!(f, "u{}: idle", u.unit)?;
             }
+            // Cumulative per-reason stall counts (nonzero entries only).
+            if u.stall_hist.iter().any(|&c| c > 0) {
+                write!(f, " stalls{{")?;
+                let mut first = true;
+                for r in StallReason::ALL {
+                    let c = u.stall_hist[r.index()];
+                    if c > 0 {
+                        if !first {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}:{c}", r.as_str())?;
+                        first = false;
+                    }
+                }
+                write!(f, "}}")?;
+            }
+            writeln!(f)?;
         }
         writeln!(f, "ring: {} in flight, queues {:?}", self.ring_in_flight, self.ring_queues)?;
         write!(
@@ -231,6 +263,7 @@ mod tests {
                     complete: false,
                     awaiting: 0,
                     stall: None,
+                    stall_hist: [0; StallReason::COUNT],
                 },
                 UnitDiag {
                     unit: 1,
@@ -240,6 +273,12 @@ mod tests {
                     complete: false,
                     awaiting: 2,
                     stall: Some(StallReason::RemoteDep),
+                    stall_hist: {
+                        let mut h = [0; StallReason::COUNT];
+                        h[StallReason::RemoteDep.index()] = 12;
+                        h[StallReason::FetchEmpty.index()] = 3;
+                        h
+                    },
                 },
             ],
             ring_in_flight: 1,
@@ -256,6 +295,8 @@ mod tests {
         assert!(s.contains("task #3 on u1 @0x400"), "{s}");
         assert!(s.contains("stall=remote_dep"), "{s}");
         assert!(s.contains("u0: idle"), "{s}");
+        // Cumulative histogram: nonzero reasons only, in index order.
+        assert!(s.contains("stalls{fetch_empty:3,remote_dep:12}"), "{s}");
     }
 
     #[test]
@@ -263,6 +304,8 @@ mod tests {
         let j = sample().to_json();
         assert!(j.starts_with("{\"cycle\":100,\"last_retire_cycle\":40,"), "{j}");
         assert!(j.contains("\"stall\":\"remote_dep\""), "{j}");
+        assert!(j.contains("\"stall_hist\":{\"fetch_empty\":3,"), "{j}");
+        assert!(j.contains("\"remote_dep\":12"), "{j}");
         assert!(j.contains("\"ring_queues\":[0,1]"), "{j}");
         assert!(j.ends_with('}'));
     }

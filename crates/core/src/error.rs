@@ -21,6 +21,9 @@ pub enum SimError {
         /// Machine state at the bound (`None` for the scalar baseline,
         /// which has no multiscalar state to report).
         snapshot: Option<Box<DiagnosticSnapshot>>,
+        /// Flight-recorder history: periodic snapshots leading up to the
+        /// bound, oldest first (empty for the scalar baseline).
+        history: Vec<DiagnosticSnapshot>,
     },
     /// No task retired for a full watchdog window — the machine is
     /// livelocked or deadlocked (see [`crate::SimConfig::watchdog`]).
@@ -29,6 +32,9 @@ pub enum SimError {
         window: u64,
         /// Machine state when the watchdog fired.
         snapshot: Box<DiagnosticSnapshot>,
+        /// Flight-recorder history: periodic snapshots leading up to the
+        /// failure, oldest first.
+        history: Vec<DiagnosticSnapshot>,
     },
     /// An internal simulator invariant broke. Carries the machine state
     /// instead of panicking, so the break is diagnosable post-mortem.
@@ -61,6 +67,16 @@ impl SimError {
             _ => None,
         }
     }
+
+    /// The flight-recorder history attached to this error (periodic
+    /// snapshots leading up to the failure, oldest first; empty when the
+    /// error carries none).
+    pub fn history(&self) -> &[DiagnosticSnapshot] {
+        match self {
+            SimError::Timeout { history, .. } | SimError::NoProgress { history, .. } => history,
+            _ => &[],
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -73,15 +89,22 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Fault(msg) => write!(f, "processing unit fault: {msg}"),
-            SimError::Timeout { cycles, snapshot } => {
+            SimError::Timeout { cycles, snapshot, history } => {
                 write!(f, "simulation exceeded {cycles} cycles")?;
                 if let Some(s) = snapshot {
                     write!(f, " ({})", s.summary())?;
                 }
+                if !history.is_empty() {
+                    write!(f, " [{} flight-recorder frames]", history.len())?;
+                }
                 Ok(())
             }
-            SimError::NoProgress { window, snapshot } => {
-                write!(f, "no task retired for {window} cycles ({})", snapshot.summary())
+            SimError::NoProgress { window, snapshot, history } => {
+                write!(f, "no task retired for {window} cycles ({})", snapshot.summary())?;
+                if !history.is_empty() {
+                    write!(f, " [{} flight-recorder frames]", history.len())?;
+                }
+                Ok(())
             }
             SimError::Internal { what, snapshot } => {
                 write!(f, "internal invariant broke: {what} ({})", snapshot.summary())

@@ -66,9 +66,11 @@
 #![deny(missing_docs)]
 
 mod ablation;
+mod acct;
 mod config;
 mod diag;
 mod error;
+mod flight;
 mod inject;
 mod processor;
 mod ring;
@@ -76,9 +78,11 @@ mod scalar;
 mod stats;
 
 pub use ablation::{ArbFullPolicy, PredictorKind};
+pub use acct::{CpiAccountant, CycleAccountant, NoAccounting};
 pub use config::SimConfig;
 pub use diag::{DiagnosticSnapshot, HeadDiag, UnitDiag};
 pub use error::SimError;
+pub use flight::FlightRecorder;
 pub use inject::{FaultInjector, NoFaults};
 pub use processor::{Processor, Retirement};
 pub use ring::{Ring, RingMsg};
@@ -288,7 +292,7 @@ DONE:
         let ms = assemble(src, AsmMode::Multiscalar).unwrap();
         let mut p = Processor::new(ms, SimConfig::multiscalar(2).watchdog(Some(50_000))).unwrap();
         match p.run() {
-            Err(SimError::NoProgress { window, snapshot }) => {
+            Err(SimError::NoProgress { window, snapshot, history }) => {
                 assert_eq!(window, 50_000);
                 assert_eq!(snapshot.tasks_retired, 0);
                 let head = snapshot.head.expect("a task is in flight");
@@ -298,6 +302,11 @@ DONE:
                 let text = snapshot.to_string();
                 assert!(text.contains("head: task #0"), "{text}");
                 assert!(snapshot.to_json().starts_with("{\"cycle\":"), "{}", snapshot.to_json());
+                // The always-on flight recorder sampled state on the way
+                // to the failure, oldest first.
+                assert!(!history.is_empty());
+                assert!(history.windows(2).all(|w| w[0].cycle < w[1].cycle));
+                assert!(history.last().unwrap().cycle <= snapshot.cycle);
             }
             other => panic!("expected NoProgress, got {other:?}"),
         }

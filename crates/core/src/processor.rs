@@ -17,9 +17,11 @@
 //!    install the predecessor's forwarded register view).
 
 use crate::ablation::{ArbFullPolicy, PredictorKind};
+use crate::acct::{CycleAccountant, NoAccounting};
 use crate::config::SimConfig;
 use crate::diag::{DiagnosticSnapshot, HeadDiag, UnitDiag};
 use crate::error::SimError;
+use crate::flight::FlightRecorder;
 use crate::inject::{FaultInjector, NoFaults};
 use crate::ring::{Ring, RingMsg};
 use crate::stats::RunStats;
@@ -29,7 +31,7 @@ use ms_isa::{
 use ms_memsys::{Arb, DataBanks, MemBus, Memory};
 use ms_pipeline::{ExitKind, MemPorts, ProcessingUnit};
 use ms_predictor::{DescriptorCache, ReturnAddressStack, TaskPredictor};
-use ms_trace::{NullSink, SquashKind, TraceEvent, TraceSink};
+use ms_trace::{NullSink, SquashKind, StallReason, TraceEvent, TraceSink};
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug)]
@@ -114,7 +116,11 @@ const ARB_OCCUPANCY_SAMPLE_PERIOD: u64 = 16;
 /// # Ok(())
 /// # }
 /// ```
-pub struct Processor<S: TraceSink = NullSink, F: FaultInjector = NoFaults> {
+pub struct Processor<
+    S: TraceSink = NullSink,
+    F: FaultInjector = NoFaults,
+    A: CycleAccountant = NoAccounting,
+> {
     cfg: SimConfig,
     prog: PredecodedProgram,
     units: Vec<ProcessingUnit>,
@@ -165,6 +171,24 @@ pub struct Processor<S: TraceSink = NullSink, F: FaultInjector = NoFaults> {
     /// Fault injector. With [`NoFaults`] (the default) every hook site
     /// compiles away, exactly like [`NullSink`] tracing.
     inject: F,
+    /// Cycle accountant. With [`NoAccounting`] (the default) every charge
+    /// site compiles away, exactly like [`NullSink`] tracing; with a live
+    /// accountant every (unit, cycle) is charged to exactly one CPI-stack
+    /// bucket and [`RunStats::cpi`] is populated.
+    acct: A,
+    /// Per unit: the last task on this unit was squashed and no new task
+    /// has been assigned yet, so its idle cycles are squash *recovery*
+    /// (charged to [`StallReason::SquashRecovery`]) rather than ordinary
+    /// [`StallReason::NoTask`] idleness. Only maintained when accounting
+    /// is live.
+    recovering: Vec<bool>,
+    /// Per-cycle scratch: which units were charged by the execute loop
+    /// this cycle (the rest get an idle-bucket charge). Only used when
+    /// accounting is live.
+    scratch_occupied: Vec<bool>,
+    /// Always-on bounded flight recorder: periodic diagnostic snapshots,
+    /// attached to [`SimError::Timeout`]/[`SimError::NoProgress`].
+    flight: FlightRecorder,
     /// Legacy human-readable event logging to stderr (the old `MS_TRACE`
     /// behaviour), resolved once at construction instead of per cycle.
     log_events: bool,
@@ -224,6 +248,23 @@ impl<F: FaultInjector> Processor<NullSink, F> {
     }
 }
 
+impl<A: CycleAccountant> Processor<NullSink, NoFaults, A> {
+    /// Builds an untraced, unperturbed processor whose cycles are charged
+    /// to `acct` — the entry point for CPI profiling (see
+    /// [`crate::CpiAccountant`]).
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadProgram`] if the program has no text or no
+    /// task descriptor at its entry point.
+    pub fn with_accountant(
+        prog: Program,
+        cfg: SimConfig,
+        acct: A,
+    ) -> Result<Processor<NullSink, NoFaults, A>, SimError> {
+        Processor::with_parts(prog, cfg, NullSink, NoFaults, acct)
+    }
+}
+
 impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
     /// Builds a processor with both a trace sink and a fault injector.
     ///
@@ -236,6 +277,26 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
         sink: S,
         injector: F,
     ) -> Result<Processor<S, F>, SimError> {
+        Processor::with_parts(prog, cfg, sink, injector, NoAccounting)
+    }
+}
+
+impl<S: TraceSink, F: FaultInjector, A: CycleAccountant> Processor<S, F, A> {
+    /// Builds a processor from all three instrumentation hooks: a trace
+    /// sink, a fault injector and a cycle accountant. Each defaults to a
+    /// no-op ([`NullSink`]/[`NoFaults`]/[`NoAccounting`]) that
+    /// monomorphizes away.
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadProgram`] if the program has no text or no
+    /// task descriptor at its entry point.
+    pub fn with_parts(
+        prog: Program,
+        cfg: SimConfig,
+        sink: S,
+        injector: F,
+        mut acct: A,
+    ) -> Result<Processor<S, F, A>, SimError> {
         if prog.text.is_empty() {
             return Err(SimError::BadProgram("empty text segment".into()));
         }
@@ -254,6 +315,9 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
         let units = (0..cfg.units).map(|i| ProcessingUnit::new(i, cfg.unit_config())).collect();
         let entry = prog.entry;
         let prog = PredecodedProgram::new(prog);
+        if A::ENABLED {
+            acct.begin(cfg.units);
+        }
         Ok(Processor {
             units,
             mem,
@@ -289,6 +353,10 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
             scratch_sends: Vec::new(),
             sink,
             inject: injector,
+            acct,
+            recovering: vec![false; cfg.units],
+            scratch_occupied: Vec::new(),
+            flight: FlightRecorder::new(),
             log_events: std::env::var_os("MS_TRACE").is_some(),
             prog,
             cfg,
@@ -355,10 +423,18 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
     /// [`DiagnosticSnapshot`] of the stuck machine.
     pub fn run(&mut self) -> Result<RunStats, SimError> {
         while !(self.halted && self.active.is_empty()) {
+            // Always-on flight recorder: a bounded ring of periodic
+            // snapshots, shipped with any timeout/watchdog failure so the
+            // lead-up to the hang is visible, not just its endpoint.
+            if self.flight.due(self.now) {
+                let snap = self.snapshot();
+                self.flight.record(self.now, snap);
+            }
             if self.now >= self.cfg.max_cycles {
                 return Err(SimError::Timeout {
                     cycles: self.cfg.max_cycles,
                     snapshot: Some(Box::new(self.snapshot())),
+                    history: self.flight.history(),
                 });
             }
             if let Some(window) = self.cfg.watchdog {
@@ -366,6 +442,7 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
                     return Err(SimError::NoProgress {
                         window,
                         snapshot: Box::new(self.snapshot()),
+                        history: self.flight.history(),
                     });
                 }
             }
@@ -405,6 +482,7 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
                         complete: self.units[u].is_complete(self.now),
                         awaiting: self.units[u].awaiting_regs().len(),
                         stall: self.units[u].stall_reason(),
+                        stall_hist: *self.units[u].stall_histogram(),
                     }
                 })
                 .collect(),
@@ -435,6 +513,9 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
         self.stats.icache = ic;
         self.stats.predictions = self.predictor.stats().predictions;
         self.stats.correct_predictions = self.predictor.stats().correct;
+        if A::ENABLED {
+            self.stats.cpi = self.acct.finish(self.now, self.stats.instructions);
+        }
     }
 
     /// [`Ring::send`] with the injector's hop jitter applied; a plain
@@ -626,6 +707,11 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
         let mut violations = std::mem::take(&mut self.scratch_violations);
         let mut exits = std::mem::take(&mut self.scratch_exits);
         let mut arb_stalled = std::mem::take(&mut self.scratch_arb_stalled);
+        let mut occupied = std::mem::take(&mut self.scratch_occupied);
+        if A::ENABLED {
+            occupied.clear();
+            occupied.resize(n, false);
+        }
         let active_len = self.active.len();
         for pos in 0..active_len {
             let unit_idx = self.active[pos].unit;
@@ -641,6 +727,19 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
             if let Some(f) = self.units[unit_idx].fault() {
                 return Err(SimError::Fault(f.to_owned()));
             }
+            if A::ENABLED {
+                // Conservation: exactly one bucket per (unit, cycle). The
+                // unit just classified this cycle — issued, or the fine
+                // stall reason it recorded.
+                occupied[unit_idx] = true;
+                if out.issued > 0 {
+                    self.acct.charge_issued(unit_idx);
+                } else {
+                    let reason =
+                        self.units[unit_idx].stall_reason().unwrap_or(StallReason::FetchEmpty);
+                    self.acct.charge_stall(unit_idx, reason);
+                }
+            }
             violations.extend(out.violations);
             if out.stall == Some(ms_pipeline::StallClass::ArbFull) && pos > 0 {
                 arb_stalled.push(pos);
@@ -650,6 +749,22 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
             }
         }
         self.stats.breakdown.idle += (n - active_len) as u64;
+        if A::ENABLED {
+            // Units with no assigned task this cycle: squash recovery if
+            // their last task was squashed and nothing new arrived yet,
+            // plain no-task idleness otherwise.
+            for (u, taken) in occupied.iter().enumerate() {
+                if !taken {
+                    let reason = if self.recovering[u] {
+                        StallReason::SquashRecovery
+                    } else {
+                        StallReason::NoTask
+                    };
+                    self.acct.charge_stall(u, reason);
+                }
+            }
+        }
+        self.scratch_occupied = occupied;
 
         // 4. Collect new ring sends.
         let mut sends = std::mem::take(&mut self.scratch_sends);
@@ -777,6 +892,9 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
             let c = self.units[u].counters();
             self.stats.instructions += c.instructions;
             self.stats.tasks_retired += 1;
+            if A::ENABLED {
+                self.acct.task_retire(u, c.instructions);
+            }
             self.stats.breakdown.useful += c.busy_cycles;
             self.stats.breakdown.no_comp_inter_task += c.inter_task_cycles;
             self.stats.breakdown.no_comp_intra_task += c.intra_task_cycles;
@@ -961,6 +1079,10 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
             self.stats.tasks_squashed += 1;
             self.stats.squashed_instructions += c.instructions;
             self.stats.breakdown.non_useful += c.total_cycles();
+            if A::ENABLED {
+                self.recovering[rec.unit] = true;
+                self.acct.task_squash(rec.unit);
+            }
             self.units[rec.unit].clear();
             self.arb.free_stage(rec.unit);
             // Undo the speculative history shift (newest first, so
@@ -1140,6 +1262,10 @@ impl<S: TraceSink, F: FaultInjector> Processor<S, F> {
 
         let order = self.next_order;
         self.next_order += 1;
+        if A::ENABLED {
+            self.recovering[unit_idx] = false;
+            self.acct.task_assign(unit_idx, order, entry);
+        }
         if S::ENABLED {
             self.sink.event(&TraceEvent::TaskAssign {
                 cycle: now,

@@ -84,7 +84,11 @@ impl ScalarProcessor {
         let mut halted = false;
         loop {
             if self.now >= self.cfg.max_cycles {
-                return Err(SimError::Timeout { cycles: self.cfg.max_cycles, snapshot: None });
+                return Err(SimError::Timeout {
+                    cycles: self.cfg.max_cycles,
+                    snapshot: None,
+                    history: Vec::new(),
+                });
             }
             let mut ports = MemPorts {
                 mem: &mut self.mem,

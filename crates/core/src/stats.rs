@@ -1,6 +1,7 @@
 //! Run statistics and the Section-3 cycle-distribution taxonomy.
 
 use ms_memsys::{ArbStats, BusStats, CacheStats};
+use ms_trace::CpiStack;
 use std::fmt;
 
 /// Distribution of processing-unit cycles, following the paper's
@@ -98,6 +99,11 @@ pub struct RunStats {
     pub bus: BusStats,
     /// Task-descriptor cache `(accesses, misses)`.
     pub descriptor_cache: (u64, u64),
+    /// The conservation-checked CPI stack, present only when the run was
+    /// made with a live [`crate::CycleAccountant`] (e.g. via `msprof` or
+    /// a `--cpi` sweep). `None` on ordinary runs — deliberately excluded
+    /// from the golden stats serialization and the sweep cache format.
+    pub cpi: Option<CpiStack>,
 }
 
 impl RunStats {

@@ -32,12 +32,21 @@ impl Default for ICacheConfig {
 pub struct ICache {
     cache: DirectMappedCache,
     cfg: ICacheConfig,
+    /// Whether the most recent fetch missed (the fill is in flight until
+    /// the cycle [`ICache::fetch`] returned). Lets the owning unit
+    /// attribute the resulting fetch bubble to the memory system
+    /// (`cache_miss`) instead of a generic `fetch_empty` stall.
+    last_fetch_missed: bool,
 }
 
 impl ICache {
     /// Builds an instruction cache.
     pub fn new(cfg: ICacheConfig) -> ICache {
-        ICache { cache: DirectMappedCache::new(cfg.size_bytes, cfg.block_bytes), cfg }
+        ICache {
+            cache: DirectMappedCache::new(cfg.size_bytes, cfg.block_bytes),
+            cfg,
+            last_fetch_missed: false,
+        }
     }
 
     /// Fetches the block containing `pc` at cycle `now`; returns the cycle
@@ -58,6 +67,7 @@ impl ICache {
         sink: &mut S,
     ) -> u64 {
         let hit = self.cache.access(pc);
+        self.last_fetch_missed = !hit;
         if S::ENABLED {
             sink.event(&ms_trace::TraceEvent::ICacheFetch { cycle: now, unit, pc, hit });
         }
@@ -67,6 +77,12 @@ impl ICache {
             let done = bus.request_traced(now + self.cfg.hit_time, self.cfg.block_bytes / 4, sink);
             done + self.cfg.miss_extra
         }
+    }
+
+    /// Whether the most recent fetch was a miss (its fill occupies the
+    /// bus until the cycle the fetch call returned).
+    pub fn last_fetch_missed(&self) -> bool {
+        self.last_fetch_missed
     }
 
     /// Whether a fetch group starting at `pc` of `words` instructions can

@@ -230,6 +230,11 @@ pub struct ProcessingUnit {
     /// Fine-grained reason for the most recent zero-issue cycle (`None`
     /// while issuing); surfaced in diagnostic snapshots.
     last_stall: Option<StallReason>,
+    /// Cumulative stalled cycles per reason over the unit's lifetime,
+    /// indexed by [`StallReason::index`]. Deliberately *not* reset on
+    /// task assignment: diagnostic snapshots want the whole history,
+    /// and per-task slices come from the cycle accountant instead.
+    stall_hist: [u64; StallReason::COUNT],
 }
 
 impl ProcessingUnit {
@@ -261,6 +266,7 @@ impl ProcessingUnit {
             counters: TaskCounters::default(),
             fault: None,
             last_stall: None,
+            stall_hist: [0; StallReason::COUNT],
         }
     }
 
@@ -388,6 +394,12 @@ impl ProcessingUnit {
     /// (`None` while issuing, or before the first stall). Diagnostics.
     pub fn stall_reason(&self) -> Option<StallReason> {
         self.last_stall
+    }
+
+    /// Cumulative stalled cycles per reason over the unit's lifetime
+    /// (across task assignments), indexed by [`StallReason::index`].
+    pub fn stall_histogram(&self) -> &[u64; StallReason::COUNT] {
+        &self.stall_hist
     }
 
     /// Ring delivery of register `r` with value `v` at cycle `now`.
@@ -543,7 +555,15 @@ impl ProcessingUnit {
                 }
             } else {
                 match first_block {
-                    None | Some(Blocked::NotDecoded) => StallReason::FetchEmpty,
+                    None | Some(Blocked::NotDecoded) => {
+                        // A fetch bubble with a miss fill in flight is a
+                        // memory-system penalty, not a decode artifact.
+                        if now < self.fetch_ready_at && self.icache.last_fetch_missed() {
+                            StallReason::CacheMiss
+                        } else {
+                            StallReason::FetchEmpty
+                        }
+                    }
                     Some(Blocked::WaitLocal) => StallReason::LocalDep,
                     Some(Blocked::WaitRemote) => StallReason::RemoteDep,
                     Some(Blocked::Fu) => StallReason::FuBusy,
@@ -552,6 +572,7 @@ impl ProcessingUnit {
                 }
             };
             self.last_stall = Some(reason);
+            self.stall_hist[reason.index()] += 1;
             if S::ENABLED {
                 sink.event(&TraceEvent::UnitStall { cycle: now, unit: self.id, reason });
             }

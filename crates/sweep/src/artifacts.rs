@@ -46,10 +46,16 @@ pub fn results_json(report: &SweepReport) -> String {
             Ok(o) => {
                 let _ = write!(
                     out,
-                    "{{{},\"ok\":true,\"stats\":{}}}",
+                    "{{{},\"ok\":true,\"stats\":{}",
                     job_fields(&o.job),
                     stats_to_json(&o.stats)
                 );
+                // Present only on `--cpi` sweeps; default artifacts stay
+                // byte-identical.
+                if let Some(cpi) = &o.stats.cpi {
+                    let _ = write!(out, ",\"cpi\":{}", cpi.to_json());
+                }
+                out.push('}');
             }
             Err(f) => {
                 let _ = write!(
@@ -155,6 +161,18 @@ mod tests {
         warm.executed = 0;
         assert_eq!(results_json(&report()), results_json(&warm));
         assert_eq!(results_csv(&report()), results_csv(&warm));
+    }
+
+    #[test]
+    fn cpi_appears_only_on_accounted_runs() {
+        let base = results_json(&report());
+        assert!(!base.contains("\"cpi\""), "{base}");
+        let mut r = report();
+        if let Ok(o) = &mut r.outcomes[0] {
+            o.stats.cpi = Some(ms_trace::CpiStack::default());
+        }
+        let j = results_json(&r);
+        assert!(j.contains(",\"cpi\":{\"schema\":"), "{j}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::job::{Job, JobKind};
 use crate::spec::SweepSpec;
 use ms_trace::MetricsSink;
 use ms_workloads::{by_name, Scale, Workload};
-use multiscalar::RunStats;
+use multiscalar::{CpiAccountant, RunStats};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -44,11 +44,24 @@ pub struct SweepOptions {
     /// stream to fold), though their results are still stored for later
     /// metric-less sweeps.
     pub metrics_dir: Option<PathBuf>,
+    /// Run every multiscalar job with a live [`multiscalar::CpiAccountant`]
+    /// so each outcome's [`RunStats::cpi`] carries the per-point CPI
+    /// stack. Like `metrics_dir`, this makes multiscalar jobs bypass the
+    /// cache probe (a cached result has no CPI stack), while results are
+    /// still stored — the cache serialization excludes the CPI stack, so
+    /// cache keys and bytes are identical either way.
+    pub cpi: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> SweepOptions {
-        SweepOptions { jobs: 0, cache: SweepCache::disabled(), progress: false, metrics_dir: None }
+        SweepOptions {
+            jobs: 0,
+            cache: SweepCache::disabled(),
+            progress: false,
+            metrics_dir: None,
+            cpi: false,
+        }
     }
 }
 
@@ -213,7 +226,7 @@ pub fn run_jobs(jobs: Vec<Job>, opts: &SweepOptions) -> SweepReport {
                 Some(Err(JobFailure { error: "unknown workload".into(), job }));
             continue;
         };
-        let probe = opts.metrics_dir.is_none() || job.kind == JobKind::Scalar;
+        let probe = (opts.metrics_dir.is_none() && !opts.cpi) || job.kind == JobKind::Scalar;
         if probe {
             if let Some(stats) = opts.cache.load(&job.cache_key(*fingerprint)) {
                 cache_hits += 1;
@@ -273,12 +286,23 @@ pub fn run_jobs(jobs: Vec<Job>, opts: &SweepOptions) -> SweepReport {
 fn execute(job: &Job, w: &Workload, opts: &SweepOptions, slot: usize) -> Result<RunStats, String> {
     match job.kind {
         JobKind::Scalar => w.run_scalar(job.cfg).map_err(|e| e.to_string()),
-        JobKind::Multiscalar => match &opts.metrics_dir {
-            None => w.run_multiscalar(job.cfg).map_err(|e| e.to_string()),
-            Some(dir) => {
-                let (stats, sink) = w
-                    .run_multiscalar_with_sink(job.cfg, MetricsSink::new())
-                    .map_err(|e| e.to_string())?;
+        JobKind::Multiscalar => match (&opts.metrics_dir, opts.cpi) {
+            (None, false) => w.run_multiscalar(job.cfg).map_err(|e| e.to_string()),
+            (None, true) => w
+                .run_multiscalar_with_accountant(job.cfg, CpiAccountant::new())
+                .map_err(|e| e.to_string()),
+            (Some(dir), cpi) => {
+                let (stats, sink) = if cpi {
+                    w.run_multiscalar_instrumented(
+                        job.cfg,
+                        MetricsSink::new(),
+                        CpiAccountant::new(),
+                    )
+                    .map_err(|e| e.to_string())?
+                } else {
+                    w.run_multiscalar_with_sink(job.cfg, MetricsSink::new())
+                        .map_err(|e| e.to_string())?
+                };
                 let name = format!("{slot:04}-{}.json", job.id().replace('/', "_"));
                 let path = dir.join(name);
                 std::fs::write(&path, sink.into_report().to_json())

@@ -58,6 +58,17 @@ pub enum StallReason {
     Drain,
     /// Task complete; waiting to reach the head for retirement.
     WaitRetire,
+    /// Nothing issue-eligible while an instruction-cache miss fill is in
+    /// flight (refines [`StallReason::FetchEmpty`]: the fetch bubble is a
+    /// memory-system penalty, not a decode/redirect artifact).
+    CacheMiss,
+    /// No task assigned: the unit sits idle in the circular queue
+    /// because the sequencer has nothing for it (program drained, or
+    /// the head has not freed the slot).
+    NoTask,
+    /// The unit was emptied by a squash wave and has not been handed a
+    /// new task yet (recovery shadow of a misprediction or violation).
+    SquashRecovery,
 }
 
 impl StallReason {
@@ -72,6 +83,9 @@ impl StallReason {
             StallReason::ArbFull => "arb_full",
             StallReason::Drain => "drain",
             StallReason::WaitRetire => "wait_retire",
+            StallReason::CacheMiss => "cache_miss",
+            StallReason::NoTask => "no_task",
+            StallReason::SquashRecovery => "squash_recovery",
         }
     }
 
@@ -86,11 +100,17 @@ impl StallReason {
             StallReason::ArbFull => 5,
             StallReason::Drain => 6,
             StallReason::WaitRetire => 7,
+            StallReason::CacheMiss => 8,
+            StallReason::NoTask => 9,
+            StallReason::SquashRecovery => 10,
         }
     }
 
+    /// Number of reasons (length of [`StallReason::ALL`]).
+    pub const COUNT: usize = 11;
+
     /// All reasons, in [`StallReason::index`] order.
-    pub const ALL: [StallReason; 8] = [
+    pub const ALL: [StallReason; Self::COUNT] = [
         StallReason::FetchEmpty,
         StallReason::LocalDep,
         StallReason::RemoteDep,
@@ -99,6 +119,9 @@ impl StallReason {
         StallReason::ArbFull,
         StallReason::Drain,
         StallReason::WaitRetire,
+        StallReason::CacheMiss,
+        StallReason::NoTask,
+        StallReason::SquashRecovery,
     ];
 }
 

@@ -22,6 +22,7 @@
 //! writes `trace.json` + `report.json` from these sinks.
 
 pub mod chrome;
+pub mod cpi;
 pub mod event;
 pub mod histogram;
 pub mod json;
@@ -30,6 +31,7 @@ pub mod metrics;
 pub mod sink;
 
 pub use chrome::ChromeTraceSink;
+pub use cpi::{CpiStack, StallBuckets, TaskCpi, UnitCpi, CPI_SCHEMA};
 pub use event::{SquashKind, StallReason, TraceEvent};
 pub use histogram::Histogram;
 pub use jsonl::{event_to_json, JsonLinesSink};

@@ -51,7 +51,7 @@ pub struct MetricsReport {
 
     // Processing units.
     /// Stalled unit-cycles by [`StallReason::index`].
-    pub stall_cycles: [u64; 8],
+    pub stall_cycles: [u64; StallReason::COUNT],
     /// Intra-task fetch redirects.
     pub unit_redirects: u64,
 

@@ -280,6 +280,49 @@ impl Workload {
         Ok((stats, p.into_sink()))
     }
 
+    /// Like [`Workload::run_multiscalar`], but charges every (unit,
+    /// cycle) to `acct` — with [`multiscalar::CpiAccountant`] the
+    /// returned stats carry a conservation-checked
+    /// [`multiscalar::trace::CpiStack`] in [`RunStats::cpi`]. This is the
+    /// run path behind `msprof` and `--cpi` sweeps.
+    ///
+    /// # Errors
+    /// Propagates assembly/simulation errors and validation mismatches.
+    pub fn run_multiscalar_with_accountant<A: multiscalar::CycleAccountant>(
+        &self,
+        cfg: SimConfig,
+        acct: A,
+    ) -> Result<RunStats, WorkloadError> {
+        let prog = self.assemble(AsmMode::Multiscalar)?;
+        let mut p = Processor::with_accountant(prog, cfg, acct)?;
+        let stats = p.run()?;
+        self.verify_memory(p.memory(), p.program())?;
+        Ok(stats)
+    }
+
+    /// Like [`Workload::run_multiscalar_with_sink`], but additionally
+    /// charges cycles to `acct` — for callers that want an event stream
+    /// *and* a CPI stack from the same run (e.g. `mstrace`
+    /// reconciliation, metrics-plus-`--cpi` sweeps).
+    ///
+    /// # Errors
+    /// Propagates assembly/simulation errors and validation mismatches.
+    pub fn run_multiscalar_instrumented<
+        S: multiscalar::trace::TraceSink,
+        A: multiscalar::CycleAccountant,
+    >(
+        &self,
+        cfg: SimConfig,
+        sink: S,
+        acct: A,
+    ) -> Result<(RunStats, S), WorkloadError> {
+        let prog = self.assemble(AsmMode::Multiscalar)?;
+        let mut p = Processor::with_parts(prog, cfg, sink, multiscalar::NoFaults, acct)?;
+        let stats = p.run()?;
+        self.verify_memory(p.memory(), p.program())?;
+        Ok((stats, p.into_sink()))
+    }
+
     /// Like [`Workload::run_multiscalar`], but perturbs the
     /// microarchitecture through `injector` (chaos testing) and returns
     /// the finished processor alongside the stats so callers can inspect
