@@ -42,8 +42,15 @@ fn usage() -> ! {
 fn cmd_run(args: &[String]) {
     let mut workloads: Option<Vec<String>> = None;
     let mut scale = Scale::Full;
-    let mut machines: Vec<MachineSpec> =
-        ["ms4", "ms8"].iter().map(|n| MachineSpec::parse(n).unwrap()).collect();
+    let mut machines: Vec<MachineSpec> = ["ms4", "ms8"]
+        .iter()
+        .map(|n| {
+            MachineSpec::parse(n).unwrap_or_else(|| {
+                eprintln!("msprof: internal error: default machine `{n}` does not parse");
+                std::process::exit(1);
+            })
+        })
+        .collect();
     let mut out_path = "BENCH_prof.json".to_string();
     let mut csv_path: Option<String> = None;
     let mut quiet = false;

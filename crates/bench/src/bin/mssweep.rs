@@ -159,6 +159,13 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", args.out_dir.display());
         return ExitCode::FAILURE;
     }
+    // Validate the cache directory up front (creating it if missing):
+    // a bad --cache-dir is one structured startup error naming the
+    // path, not a warning repeated on every job. msserve does the same.
+    if let Err(e) = args.opts.cache.ensure_ready() {
+        eprintln!("mssweep: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let njobs = args.spec.expand().len();
     if !args.quiet {

@@ -117,7 +117,10 @@ fn main() {
     }
     if run("ablation") {
         for name in ["Example", "Wc", "Compress"] {
-            let w = ms_workloads::by_name(name, scale).expect("workload");
+            let Some(w) = ms_workloads::by_name(name, scale) else {
+                eprintln!("tables: ablation workload `{name}` is missing from the suite");
+                std::process::exit(1);
+            };
             println!("{}", render_ablation(name, &ablation(&w)));
         }
     }

@@ -33,6 +33,7 @@
 
 use crate::perf::MachineSpec;
 use ms_trace::json;
+use ms_trace::jsonv::{self, JsonValue};
 use ms_trace::{CpiStack, StallReason};
 use ms_workloads::{Workload, WorkloadError};
 use multiscalar::CpiAccountant;
@@ -146,209 +147,6 @@ pub fn render_profile(points: &[ProfPoint]) -> String {
 // Reading profiles back (for `msprof diff`).
 // ---------------------------------------------------------------------
 
-/// A minimal JSON value — just enough to read `msprof`'s own output
-/// (this workspace has no serde by design).
-#[derive(Clone, Debug, PartialEq)]
-enum JsonValue {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<JsonValue>),
-    Obj(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a JsonValue> {
-        match self {
-            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_u64(&self) -> Option<u64> {
-        match self {
-            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-}
-
-struct JsonReader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonReader<'a> {
-    fn new(text: &'a str) -> JsonReader<'a> {
-        JsonReader { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn error(&self, what: &str) -> String {
-        format!("{what} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn literal(&mut self, word: &str, val: JsonValue) -> Result<JsonValue, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(val)
-        } else {
-            Err(self.error(&format!("expected `{word}`")))
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.bytes.get(self.pos).copied() {
-                None => return Err(self.error("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.bytes.get(self.pos).copied();
-                    self.pos += 1;
-                    match esc {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.error("bad \\u escape"))?;
-                            self.pos += 4;
-                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(self.error("bad escape")),
-                    }
-                }
-                Some(_) => {
-                    // Consume one full UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, String> {
-        match self.peek() {
-            Some(b'{') => {
-                self.pos += 1;
-                let mut fields = Vec::new();
-                if self.peek() == Some(b'}') {
-                    self.pos += 1;
-                    return Ok(JsonValue::Obj(fields));
-                }
-                loop {
-                    self.skip_ws();
-                    let key = self.string()?;
-                    self.expect(b':')?;
-                    fields.push((key, self.value()?));
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b'}') => {
-                            self.pos += 1;
-                            return Ok(JsonValue::Obj(fields));
-                        }
-                        _ => return Err(self.error("expected `,` or `}`")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                self.pos += 1;
-                let mut items = Vec::new();
-                if self.peek() == Some(b']') {
-                    self.pos += 1;
-                    return Ok(JsonValue::Arr(items));
-                }
-                loop {
-                    items.push(self.value()?);
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b']') => {
-                            self.pos += 1;
-                            return Ok(JsonValue::Arr(items));
-                        }
-                        _ => return Err(self.error("expected `,` or `]`")),
-                    }
-                }
-            }
-            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
-            Some(b't') => self.literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(_) => {
-                let start = self.pos;
-                while self
-                    .bytes
-                    .get(self.pos)
-                    .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
-                {
-                    self.pos += 1;
-                }
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .ok()
-                    .and_then(|t| t.parse().ok())
-                    .map(JsonValue::Num)
-                    .ok_or_else(|| self.error("bad number"))
-            }
-            None => Err(self.error("unexpected end of input")),
-        }
-    }
-
-    fn parse(text: &str) -> Result<JsonValue, String> {
-        let mut r = JsonReader::new(text);
-        let v = r.value()?;
-        r.skip_ws();
-        if r.pos != r.bytes.len() {
-            return Err(r.error("trailing data"));
-        }
-        Ok(v)
-    }
-}
-
 /// One point of a recorded profile, as read back from disk. Only the
 /// aggregate stack is retained — diffs compare bucket totals, not
 /// per-task rows.
@@ -397,7 +195,7 @@ pub struct RecordedProfile {
 /// Returns a human-readable description of the first structural problem
 /// (wrong schema, missing field, malformed JSON).
 pub fn parse_profile(text: &str) -> Result<RecordedProfile, String> {
-    let doc = JsonReader::parse(text)?;
+    let doc = jsonv::parse(text)?;
     let schema = doc.get("schema").and_then(JsonValue::as_str).unwrap_or("<missing>");
     if schema != PROF_SCHEMA {
         return Err(format!("not an msprof profile: schema `{schema}`, want `{PROF_SCHEMA}`"));

@@ -1,0 +1,175 @@
+//! The `msload` load generator for `msserve`.
+//!
+//! ```text
+//! cargo run --release -p ms-serve --bin msload -- \
+//!     [--addr HOST:PORT] [--connections N] [--requests N] [--points N] \
+//!     [--seed N] [--out FILE] [--timing-out FILE] [--stats-out FILE] \
+//!     [--shutdown]
+//! ```
+//!
+//! Opens `--connections` concurrent connections, pipelines `--requests`
+//! seeded requests on each (so `connections × requests` are in flight at
+//! once), digests every response, and verifies that all responses for
+//! the same design point are byte-identical.
+//!
+//! Writes the byte-deterministic `multiscalar-load/v1` report to
+//! `--out` (default stdout): identical options against a correct daemon
+//! produce identical bytes, regardless of cache state, dedup, worker
+//! count, or machine speed. Wall-clock measurements (throughput,
+//! latency percentiles, overload retries) print to stderr and, with
+//! `--timing-out`, to a separate non-deterministic artifact.
+//! `--stats-out` fetches the daemon's counters after the run (CI asserts
+//! dedup and cache activity from it); `--shutdown` then drains the
+//! daemon.
+//!
+//! Exits non-zero if any same-point responses diverged or any request
+//! failed outright.
+
+use ms_serve::load::{fetch_stats, run_load, LoadOptions};
+use std::process::ExitCode;
+
+struct Args {
+    opts: LoadOptions,
+    out: Option<String>,
+    timing_out: Option<String>,
+    stats_out: Option<String>,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: msload [--addr HOST:PORT] [--connections N] [--requests N] [--points N] \
+         [--seed N] [--out FILE] [--timing-out FILE] [--stats-out FILE] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        opts: LoadOptions::default(),
+        out: None,
+        timing_out: None,
+        stats_out: None,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        let number = |flag: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} needs a non-negative integer, got `{v}`");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => args.opts.addr = value("--addr"),
+            "--connections" => {
+                args.opts.connections = number("--connections", value("--connections")).max(1)
+            }
+            "--requests" => {
+                args.opts.requests_per_conn = number("--requests", value("--requests")).max(1)
+            }
+            "--points" => args.opts.points = number("--points", value("--points")),
+            "--seed" => args.opts.seed = number("--seed", value("--seed")) as u64,
+            "--out" => args.out = Some(value("--out")),
+            "--timing-out" => args.timing_out = Some(value("--timing-out")),
+            "--stats-out" => args.stats_out = Some(value("--stats-out")),
+            "--shutdown" => args.shutdown = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn write_artifact(path: &str, contents: &str) -> bool {
+    match std::fs::write(path, contents) {
+        Ok(()) => {
+            eprintln!("msload: wrote {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("msload: cannot write {path}: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    eprintln!(
+        "msload: {} connections x {} pipelined requests over {} points -> {} in flight",
+        args.opts.connections,
+        args.opts.requests_per_conn,
+        args.opts.points,
+        args.opts.connections * args.opts.requests_per_conn,
+    );
+
+    let outcome = match run_load(&args.opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("msload: load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "msload: {} responses, {} divergent, {} failed; {}",
+        outcome.total,
+        outcome.divergent,
+        outcome.failed,
+        outcome.timing_json(),
+    );
+
+    let mut io_ok = true;
+    let report = outcome.report_json();
+    match &args.out {
+        Some(path) => io_ok &= write_artifact(path, &report),
+        None => println!("{report}"),
+    }
+    if let Some(path) = &args.timing_out {
+        io_ok &= write_artifact(path, &outcome.timing_json());
+    }
+    if let Some(path) = &args.stats_out {
+        match fetch_stats(&args.opts.addr) {
+            Ok(raw) => io_ok &= write_artifact(path, &raw),
+            Err(e) => {
+                eprintln!("msload: cannot fetch stats: {e}");
+                io_ok = false;
+            }
+        }
+    }
+
+    if args.shutdown {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let drain = || -> std::io::Result<()> {
+            let stream = std::net::TcpStream::connect(&args.opts.addr)?;
+            let mut writer = stream.try_clone()?;
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line)?; // hello
+            writer.write_all(b"{\"op\":\"shutdown\",\"id\":0}\n")?;
+            line.clear();
+            reader.read_line(&mut line)?; // bye (after the drain)
+            eprintln!("msload: daemon drained: {}", line.trim_end());
+            Ok(())
+        };
+        if let Err(e) = drain() {
+            eprintln!("msload: shutdown failed: {e}");
+            io_ok = false;
+        }
+    }
+
+    if outcome.divergent > 0 || outcome.failed > 0 || !io_ok {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

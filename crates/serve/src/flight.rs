@@ -1,0 +1,188 @@
+//! Single-flight request coalescing.
+//!
+//! When N connections ask for the same design point at the same moment,
+//! exactly one of them — the *leader*, the thread that inserted the
+//! flight into the board — probes the cache or enqueues the compute
+//! work. The other N−1 — *joiners* — block on the flight's condvar and
+//! receive the same resolved payload `Arc`. Because the payload is the
+//! deterministic [`ms_sweep::artifacts::outcome_json`] rendering, every
+//! participant observes byte-identical bytes regardless of role.
+//!
+//! A flight resolves exactly once, to either a payload or a rejection
+//! (the admission controller refusing the leader rejects every joiner
+//! too — nobody is left waiting for work that was never queued). The
+//! leader removes the flight from the board *before* resolving it, so a
+//! request arriving after resolution starts a fresh flight and is
+//! answered by the disk cache instead of holding completed payloads
+//! alive in memory.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a flight settled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlightOutcome {
+    /// The computation finished; the payload is the response body
+    /// (an `outcome_json` rendering) shared by every participant.
+    Payload(Arc<str>),
+    /// The daemon refused the work (`overloaded` or `shutting_down`);
+    /// every participant answers with this error code.
+    Rejected(&'static str),
+}
+
+/// One in-flight computation, shared between a leader and any joiners.
+#[derive(Debug, Default)]
+pub struct Flight {
+    outcome: Mutex<Option<FlightOutcome>>,
+    settled: Condvar,
+}
+
+impl Flight {
+    /// Resolves the flight, waking every joiner. Resolving twice is a
+    /// logic error (the board hands out exactly one leader per flight);
+    /// the first outcome wins and the second is dropped.
+    pub fn resolve(&self, outcome: FlightOutcome) {
+        let mut slot = self.outcome.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        drop(slot);
+        self.settled.notify_all();
+    }
+
+    /// Blocks until the flight resolves and returns the shared outcome.
+    pub fn wait(&self) -> FlightOutcome {
+        let mut slot = self.outcome.lock().unwrap();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self.settled.wait(slot).unwrap();
+        }
+    }
+}
+
+/// What [`FlightBoard::join`] tells a request to do.
+#[derive(Debug)]
+pub enum Role {
+    /// This thread created the flight and must drive the computation to
+    /// resolution (and remove it from the board via
+    /// [`FlightBoard::complete`] before resolving).
+    Leader(Arc<Flight>),
+    /// An identical request is already in flight; wait on it.
+    Joiner(Arc<Flight>),
+}
+
+/// The map of in-flight computations, keyed by the job's full cache key
+/// (workload fingerprint + `SimConfig::stable_key` + kind + version), so
+/// "identical request" means exactly "identical simulation".
+#[derive(Debug, Default)]
+pub struct FlightBoard {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl FlightBoard {
+    /// A board with no flights.
+    pub fn new() -> FlightBoard {
+        FlightBoard::default()
+    }
+
+    /// Joins the flight for `key`, creating it if absent. The caller
+    /// that receives [`Role::Leader`] owns resolution.
+    pub fn join(&self, key: &str) -> Role {
+        let mut flights = self.flights.lock().unwrap();
+        if let Some(f) = flights.get(key) {
+            Role::Joiner(Arc::clone(f))
+        } else {
+            let f = Arc::new(Flight::default());
+            flights.insert(key.to_string(), Arc::clone(&f));
+            Role::Leader(f)
+        }
+    }
+
+    /// Removes `key` from the board. The leader calls this *before*
+    /// resolving its flight: joiners already holding the `Arc` still get
+    /// the outcome, while later requests start fresh (and hit the disk
+    /// cache the computation just populated).
+    pub fn complete(&self, key: &str) {
+        self.flights.lock().unwrap().remove(key);
+    }
+
+    /// Number of distinct computations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn first_joiner_leads_the_rest_follow() {
+        let board = FlightBoard::new();
+        let Role::Leader(lead) = board.join("k") else { panic!("first join must lead") };
+        let Role::Joiner(join) = board.join("k") else { panic!("second join must follow") };
+        assert_eq!(board.in_flight(), 1);
+        board.complete("k");
+        lead.resolve(FlightOutcome::Payload("payload".into()));
+        assert_eq!(join.wait(), FlightOutcome::Payload("payload".into()));
+        assert_eq!(board.in_flight(), 0);
+        // After completion the key leads again (fresh flight).
+        assert!(matches!(board.join("k"), Role::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let board = FlightBoard::new();
+        assert!(matches!(board.join("a"), Role::Leader(_)));
+        assert!(matches!(board.join("b"), Role::Leader(_)));
+        assert_eq!(board.in_flight(), 2);
+    }
+
+    #[test]
+    fn rejection_reaches_every_waiter() {
+        let board = Arc::new(FlightBoard::new());
+        let Role::Leader(lead) = board.join("k") else { panic!() };
+        let rejected = Arc::new(AtomicUsize::new(0));
+        let joined = Arc::new(AtomicUsize::new(0));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let (board, rejected, joined) =
+                    (Arc::clone(&board), Arc::clone(&rejected), Arc::clone(&joined));
+                std::thread::spawn(move || {
+                    let flight = match board.join("k") {
+                        Role::Joiner(f) => f,
+                        Role::Leader(_) => panic!("leader already exists"),
+                    };
+                    joined.fetch_add(1, Ordering::Relaxed);
+                    if flight.wait() == FlightOutcome::Rejected("overloaded") {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        // Resolving before a join would hand a later thread leadership
+        // of a fresh flight; wait until everyone is aboard.
+        while joined.load(Ordering::Relaxed) < 4 {
+            std::thread::yield_now();
+        }
+        board.complete("k");
+        lead.resolve(FlightOutcome::Rejected("overloaded"));
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(rejected.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn wait_after_resolve_returns_immediately() {
+        let f = Flight::default();
+        f.resolve(FlightOutcome::Payload("x".into()));
+        assert_eq!(f.wait(), FlightOutcome::Payload("x".into()));
+        // A second resolve is ignored; the first outcome sticks.
+        f.resolve(FlightOutcome::Rejected("overloaded"));
+        assert_eq!(f.wait(), FlightOutcome::Payload("x".into()));
+    }
+}

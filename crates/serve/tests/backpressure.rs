@@ -1,0 +1,238 @@
+//! Admission control and graceful drain: a full queue answers
+//! `overloaded` immediately (never hangs), and a shutdown drains queued
+//! and in-flight work, answers it, then closes the listener.
+
+use ms_serve::protocol::{self, Response};
+use ms_serve::{Server, ServerConfig};
+use ms_sweep::{Executor, InProcessExecutor, Job, SweepCache};
+use ms_workloads::Workload;
+use multiscalar::RunStats;
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Evaluations block until released (see `tests/dedup.rs`).
+struct GatedExecutor {
+    inner: InProcessExecutor,
+    entered: AtomicUsize,
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl GatedExecutor {
+    fn new() -> GatedExecutor {
+        GatedExecutor {
+            inner: InProcessExecutor::new(),
+            entered: AtomicUsize::new(0),
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl Executor for GatedExecutor {
+    fn run(&self, job: &Job, w: &Workload, slot: usize) -> Result<RunStats, String> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.run(job, w, slot)
+    }
+
+    fn name(&self) -> &str {
+        "gated"
+    }
+}
+
+/// A connection that has sent one pipelined request and not yet read
+/// the response.
+struct PendingClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl PendingClient {
+    fn send(addr: std::net::SocketAddr, line: &str) -> PendingClient {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let writer = stream.try_clone().unwrap();
+        let mut client = PendingClient { writer, reader: BufReader::new(stream) };
+        let mut hello = String::new();
+        client.reader.read_line(&mut hello).unwrap();
+        client.writer.write_all(line.as_bytes()).unwrap();
+        client.writer.write_all(b"\n").unwrap();
+        client
+    }
+
+    fn response(&mut self) -> Response {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        protocol::parse_response(&line).expect(&line)
+    }
+}
+
+fn run_line(workload: &str, units: usize) -> String {
+    format!("{{\"op\":\"run\",\"id\":1,\"workload\":\"{workload}\",\"units\":{units}}}")
+}
+
+#[test]
+fn full_queue_answers_overloaded_and_drain_answers_the_queue() {
+    // One worker, queue depth 2: one request occupies the worker (held
+    // by the gate), two sit in the queue, and the fourth *distinct*
+    // design point must be refused — immediately, not by timing out.
+    let exec = Arc::new(GatedExecutor::new());
+    let cfg = ServerConfig { workers: 1, queue_depth: 2, ..ServerConfig::default() };
+    let server = Server::start(cfg, Arc::clone(&exec) as Arc<dyn Executor>).expect("bind");
+    let addr = server.addr();
+
+    let mut occupying = PendingClient::send(addr, &run_line("wc", 2));
+    while exec.entered.load(Ordering::SeqCst) < 1 {
+        std::thread::yield_now();
+    }
+    // Worker is now blocked inside the gate; these two fill the queue.
+    let mut queued_a = PendingClient::send(addr, &run_line("wc", 4));
+    let mut queued_b = PendingClient::send(addr, &run_line("wc", 8));
+    while server.stats().queue_depth < 2 {
+        std::thread::yield_now();
+    }
+
+    // Queue full: a fourth distinct point is refused with a retry hint.
+    let mut refused = PendingClient::send(addr, &run_line("cmp", 4));
+    match refused.response() {
+        Response::Error { code, retry_after_ms, .. } => {
+            assert_eq!(code, "overloaded");
+            assert!(retry_after_ms.is_some(), "overload carries a retry-after hint");
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    assert_eq!(server.stats().overloaded, 1);
+
+    // Graceful drain: shutdown arrives while one point executes and two
+    // wait. All three must be answered before the bye goes out.
+    let mut closer = PendingClient::send(addr, "{\"op\":\"shutdown\",\"id\":9}");
+    // Give the drain a moment to begin, then release the gate so the
+    // occupied worker (and then the queue) can finish.
+    while !server.stats().draining {
+        std::thread::yield_now();
+    }
+    exec.release();
+
+    assert!(matches!(occupying.response(), Response::Result { .. }), "in-flight work answered");
+    assert!(matches!(queued_a.response(), Response::Result { .. }), "queued work answered");
+    assert!(matches!(queued_b.response(), Response::Result { .. }), "queued work answered");
+    assert_eq!(closer.response(), Response::Bye { id: 9 }, "bye only after the drain");
+
+    server.join();
+    assert_eq!(exec.entered.load(Ordering::SeqCst), 3, "refused point never executed");
+
+    // The listener is closed: a fresh connect fails or sees EOF.
+    let gone = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut buf = [0u8; 1];
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        }
+    };
+    assert!(gone, "listener must be closed after the drain");
+}
+
+#[test]
+fn requests_during_a_drain_are_rejected_as_shutting_down() {
+    let exec = Arc::new(GatedExecutor::new());
+    let cfg = ServerConfig { workers: 1, queue_depth: 8, ..ServerConfig::default() };
+    let server = Server::start(cfg, Arc::clone(&exec) as Arc<dyn Executor>).expect("bind");
+    let addr = server.addr();
+
+    // Hold a computation so the drain cannot finish instantly, and keep
+    // a second connection open from before the drain began.
+    let mut held = PendingClient::send(addr, &run_line("wc", 2));
+    while exec.entered.load(Ordering::SeqCst) < 1 {
+        std::thread::yield_now();
+    }
+    let survivor = TcpStream::connect(addr).unwrap();
+    survivor.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let mut survivor_writer = survivor.try_clone().unwrap();
+    let mut survivor_reader = BufReader::new(survivor);
+    let mut hello = String::new();
+    survivor_reader.read_line(&mut hello).unwrap();
+
+    let mut closer = PendingClient::send(addr, "{\"op\":\"shutdown\",\"id\":1}");
+    while !server.stats().draining {
+        std::thread::yield_now();
+    }
+
+    // New compute on the surviving connection is refused, not queued.
+    survivor_writer.write_all(run_line("cmp", 8).as_bytes()).unwrap();
+    survivor_writer.write_all(b"\n").unwrap();
+    let mut line = String::new();
+    survivor_reader.read_line(&mut line).unwrap();
+    match protocol::parse_response(&line).expect(&line) {
+        Response::Error { code, .. } => assert_eq!(code, "shutting_down"),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+
+    exec.release();
+    assert!(matches!(held.response(), Response::Result { .. }), "pre-drain work still answered");
+    assert_eq!(closer.response(), Response::Bye { id: 1 });
+    server.join();
+    assert_eq!(exec.entered.load(Ordering::SeqCst), 1, "drain-time request never executed");
+}
+
+#[test]
+fn cache_hits_are_served_even_when_the_queue_is_full() {
+    // Saturation must not take down what the daemon already knows: a
+    // full queue still answers cache hits (and stats, and pings).
+    let dir = std::env::temp_dir().join(format!("ms-serve-bp-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exec = Arc::new(GatedExecutor::new());
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        cache: SweepCache::at(&dir),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, Arc::clone(&exec) as Arc<dyn Executor>).expect("bind");
+    let addr = server.addr();
+
+    // Warm one point into the cache while the gate is open.
+    exec.release();
+    let mut warm = PendingClient::send(addr, &run_line("wc", 2));
+    let warm_payload = match warm.response() {
+        Response::Result { payload, .. } => payload,
+        other => panic!("{other:?}"),
+    };
+
+    // Close the gate again and saturate: one executing, one queued.
+    *exec.open.lock().unwrap() = false;
+    let _occupying = PendingClient::send(addr, &run_line("wc", 4));
+    while exec.entered.load(Ordering::SeqCst) < 2 {
+        std::thread::yield_now();
+    }
+    let _queued = PendingClient::send(addr, &run_line("wc", 8));
+    while server.stats().queue_depth < 1 {
+        std::thread::yield_now();
+    }
+
+    // The warmed point is still served, byte-identically, from cache.
+    let mut hit = PendingClient::send(addr, &run_line("wc", 2));
+    match hit.response() {
+        Response::Result { payload, .. } => assert_eq!(payload, warm_payload),
+        other => panic!("expected a cache hit, got {other:?}"),
+    }
+    assert!(server.stats().cache_hits >= 1);
+
+    exec.release();
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,176 @@
+//! Single-flight dedup: N concurrent identical requests cause exactly
+//! one engine evaluation, and every requester receives byte-identical
+//! bytes.
+
+use ms_serve::protocol::{self, Response};
+use ms_serve::{Server, ServerConfig, StatsSnapshot};
+use ms_sweep::{Executor, InProcessExecutor, Job, SweepCache};
+use ms_workloads::Workload;
+use multiscalar::RunStats;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An executor whose evaluations block until the test releases a gate,
+/// so requests provably pile up on the in-flight computation instead of
+/// racing past it into the disk cache.
+struct GatedExecutor {
+    inner: InProcessExecutor,
+    entered: AtomicUsize,
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl GatedExecutor {
+    fn new() -> GatedExecutor {
+        GatedExecutor {
+            inner: InProcessExecutor::new(),
+            entered: AtomicUsize::new(0),
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl Executor for GatedExecutor {
+    fn run(&self, job: &Job, w: &Workload, slot: usize) -> Result<RunStats, String> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.run(job, w, slot)
+    }
+
+    fn name(&self) -> &str {
+        "gated"
+    }
+}
+
+fn fetch_stats(addr: std::net::SocketAddr) -> StatsSnapshot {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // hello
+    writer.write_all(b"{\"op\":\"stats\",\"id\":0}\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    match protocol::parse_response(&line).unwrap() {
+        Response::Stats { raw, .. } => StatsSnapshot::from_json(&raw).unwrap(),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn identical_concurrent_requests_evaluate_once_and_answer_identically() {
+    const N: usize = 8;
+    let exec = Arc::new(GatedExecutor::new());
+    let cfg = ServerConfig { workers: 2, queue_depth: 16, ..ServerConfig::default() };
+    let server = Server::start(cfg, Arc::clone(&exec) as Arc<dyn Executor>).expect("bind");
+    let addr = server.addr();
+
+    // N threads submit the identical request concurrently. The gate
+    // holds the one real evaluation open until all of them have landed.
+    let payloads: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    std::thread::scope(|scope| {
+        for _ in 0..N {
+            let payloads = Arc::clone(&payloads);
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap(); // hello
+                writer
+                    .write_all(b"{\"op\":\"run\",\"id\":1,\"workload\":\"wc\",\"units\":4}\n")
+                    .unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                match protocol::parse_response(&line).unwrap() {
+                    Response::Result { id: 1, payload } => payloads.lock().unwrap().push(payload),
+                    other => panic!("{other:?}"),
+                }
+            });
+        }
+
+        // The leader's evaluation is in the gate; the other N-1 must
+        // coalesce onto its flight rather than evaluate or enqueue.
+        // (The worker popping the item races the joiners arriving, so
+        // wait for both before judging the count.)
+        while fetch_stats(addr).dedup_joins < (N as u64) - 1
+            || exec.entered.load(Ordering::SeqCst) < 1
+        {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(exec.entered.load(Ordering::SeqCst), 1, "exactly one evaluation entered");
+        exec.release();
+    });
+
+    let payloads = payloads.lock().unwrap();
+    assert_eq!(payloads.len(), N);
+    for p in payloads.iter() {
+        assert_eq!(p, &payloads[0], "every requester gets byte-identical bytes");
+        assert!(p.contains("\"job\":\"wc@test/ms4/w1/inorder\""), "{p}");
+        assert!(p.contains("\"ok\":true"), "{p}");
+    }
+
+    let stats = fetch_stats(addr);
+    assert_eq!(stats.computed, 1, "{stats:?}");
+    assert_eq!(stats.dedup_joins, (N as u64) - 1, "{stats:?}");
+    assert_eq!(stats.cache_hits, 0, "{stats:?}");
+    assert_eq!(exec.entered.load(Ordering::SeqCst), 1, "still exactly one evaluation");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn requests_after_the_flight_resolves_hit_the_cache_not_the_executor() {
+    let dir = std::env::temp_dir().join(format!("ms-serve-dedup-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exec = Arc::new(GatedExecutor::new());
+    exec.release(); // no gating needed here
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        cache: SweepCache::at(&dir),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, Arc::clone(&exec) as Arc<dyn Executor>).expect("bind");
+    let addr = server.addr();
+
+    let ask = || {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        writer.write_all(b"{\"op\":\"run\",\"id\":1,\"workload\":\"cmp\",\"units\":2}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        match protocol::parse_response(&line).unwrap() {
+            Response::Result { payload, .. } => payload,
+            other => panic!("{other:?}"),
+        }
+    };
+
+    let first = ask();
+    let second = ask();
+    assert_eq!(first, second, "cache-served bytes match computed bytes");
+    assert_eq!(exec.entered.load(Ordering::SeqCst), 1, "second request never evaluates");
+    let stats = fetch_stats(addr);
+    assert_eq!((stats.computed, stats.cache_hits), (1, 1), "{stats:?}");
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,11 +7,64 @@
 //! byte-identical to a serial run's, and a warm-cache re-run reproduces
 //! the cold run's files exactly.
 
-use crate::engine::SweepReport;
+use crate::engine::{JobFailure, JobOutcome, SweepReport};
 use crate::job::Job;
 use crate::statsio::stats_to_json;
 use ms_trace::json;
 use std::fmt::Write as _;
+
+/// One outcome as the exact JSON object that appears in
+/// `results.json`'s `jobs` array: `{job fields,"ok":true,"stats":{...}}`
+/// on success (plus `"cpi"` when the stats carry a stack), or
+/// `{job fields,"ok":false,"error":"..."}` on failure.
+///
+/// This is the unit of byte-identity between the sweep artifacts and
+/// the `ms-serve` wire protocol: a served result payload *is* this
+/// rendering, so a response can be byte-compared against the `mssweep`
+/// artifact for the same design point.
+pub fn outcome_json(outcome: &Result<JobOutcome, JobFailure>) -> String {
+    let mut out = String::new();
+    match outcome {
+        Ok(o) => {
+            let _ = write!(
+                out,
+                "{{{},\"ok\":true,\"stats\":{}",
+                job_fields(&o.job),
+                stats_to_json(&o.stats)
+            );
+            // Present only on `--cpi` sweeps; default artifacts stay
+            // byte-identical.
+            if let Some(cpi) = &o.stats.cpi {
+                let _ = write!(out, ",\"cpi\":{}", cpi.to_json());
+            }
+            out.push('}');
+        }
+        Err(f) => {
+            let _ = write!(
+                out,
+                "{{{},\"ok\":false,\"error\":{}}}",
+                job_fields(&f.job),
+                json::string(&f.error)
+            );
+        }
+    }
+    out
+}
+
+/// Wraps per-outcome fragments (each produced by [`outcome_json`]) in
+/// the `results.json` document envelope. `total` is the job count.
+pub fn results_envelope<'a>(total: usize, fragments: impl Iterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"version\":1,\"total\":{total},\"jobs\":[");
+    for (i, frag) in fragments.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(frag);
+    }
+    out.push_str("]}");
+    out
+}
 
 fn job_fields(job: &Job) -> String {
     format!(
@@ -36,39 +89,8 @@ fn job_fields(job: &Job) -> String {
 ///   {"job":"...","ok":false,"error":"..."}]}
 /// ```
 pub fn results_json(report: &SweepReport) -> String {
-    let mut out = String::new();
-    let _ = write!(out, "{{\"version\":1,\"total\":{},\"jobs\":[", report.total());
-    for (i, outcome) in report.outcomes.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        match outcome {
-            Ok(o) => {
-                let _ = write!(
-                    out,
-                    "{{{},\"ok\":true,\"stats\":{}",
-                    job_fields(&o.job),
-                    stats_to_json(&o.stats)
-                );
-                // Present only on `--cpi` sweeps; default artifacts stay
-                // byte-identical.
-                if let Some(cpi) = &o.stats.cpi {
-                    let _ = write!(out, ",\"cpi\":{}", cpi.to_json());
-                }
-                out.push('}');
-            }
-            Err(f) => {
-                let _ = write!(
-                    out,
-                    "{{{},\"ok\":false,\"error\":{}}}",
-                    job_fields(&f.job),
-                    json::string(&f.error)
-                );
-            }
-        }
-    }
-    out.push_str("]}");
-    out
+    let fragments: Vec<String> = report.outcomes.iter().map(outcome_json).collect();
+    results_envelope(report.total(), fragments.iter().map(String::as_str))
 }
 
 /// The sweep as a CSV matrix, one row per design point.

@@ -38,6 +38,29 @@ pub const DEFAULT_CACHE_DIR: &str = ".ms-sweep-cache";
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// A cache directory that cannot be created or used, named precisely so
+/// CLIs can fail up front with a structured error instead of surfacing
+/// a raw `io::Error` mid-sweep. Produced by [`SweepCache::ensure_ready`].
+#[derive(Debug)]
+pub struct CacheDirError {
+    /// The directory that was requested.
+    pub dir: PathBuf,
+    /// Why it is unusable.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for CacheDirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cache directory `{}` is unusable: {}", self.dir.display(), self.source)
+    }
+}
+
+impl std::error::Error for CacheDirError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// The on-disk result cache. A `SweepCache` is cheap to clone and safe
 /// to share across worker threads (all state lives on disk; publishes
 /// are atomic renames).
@@ -64,6 +87,28 @@ impl SweepCache {
             Ok(dir) if !dir.is_empty() => SweepCache::at(dir),
             _ => SweepCache::at(DEFAULT_CACHE_DIR),
         }
+    }
+
+    /// Validates the cache directory up front: creates it (and any
+    /// missing parents) if absent, and verifies it is actually a
+    /// writable directory by creating and removing a probe file.
+    ///
+    /// Stores remain best-effort either way; this exists so CLIs
+    /// (`mssweep`, `msserve`) can reject a bad `--cache-dir` at startup
+    /// with a structured error naming the path, instead of warning on
+    /// every job mid-run. A disabled cache is trivially ready.
+    ///
+    /// # Errors
+    /// Returns a [`CacheDirError`] naming the directory if it cannot be
+    /// created, is not a directory, or is not writable.
+    pub fn ensure_ready(&self) -> Result<(), CacheDirError> {
+        let Some(dir) = self.dir.as_deref() else { return Ok(()) };
+        let fail = |source| CacheDirError { dir: dir.to_path_buf(), source };
+        fs::create_dir_all(dir).map_err(fail)?;
+        let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let probe = dir.join(format!(".probe-{}-{n}", std::process::id()));
+        fs::write(&probe, b"ms-sweep cache probe").map_err(fail)?;
+        fs::remove_file(&probe).map_err(fail)
     }
 
     /// Whether lookups can ever hit.
@@ -176,6 +221,34 @@ mod tests {
         fs::write(&path, &full).unwrap();
         assert_eq!(c.load("k").unwrap().cycles, 42);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ensure_ready_creates_missing_directories() {
+        let dir = tmpdir("ensure").join("nested").join("deeper");
+        let c = SweepCache::at(&dir);
+        c.ensure_ready().expect("nested cache dir is created");
+        assert!(dir.is_dir());
+        // Idempotent on an existing directory.
+        c.ensure_ready().expect("existing cache dir is fine");
+        let _ = fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn ensure_ready_rejects_a_file_path_with_the_path_named() {
+        let dir = tmpdir("ensure-file");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("not-a-dir");
+        fs::write(&file, b"occupied").unwrap();
+        let err = SweepCache::at(&file).ensure_ready().expect_err("a file is not a cache dir");
+        assert_eq!(err.dir, file);
+        assert!(err.to_string().contains("not-a-dir"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ensure_ready_on_disabled_cache_is_ok() {
+        SweepCache::disabled().ensure_ready().expect("disabled cache is trivially ready");
     }
 
     #[test]

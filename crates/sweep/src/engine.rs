@@ -13,6 +13,13 @@
 //! 3. **Assemble** — outcomes are returned in input order inside a
 //!    [`SweepReport`]. A failed design point becomes a [`JobFailure`]
 //!    carrying the job identity; it never aborts the rest of the sweep.
+//!
+//! *Where* a job actually simulates is pluggable: the pool hands each
+//! job to an [`Executor`]. The default [`InProcessExecutor`] simulates
+//! on the calling thread; other executors (a counting test shim, the
+//! `ms-serve` daemon's instrumented executor, process/host shards
+//! later) implement the same one-job contract and inherit the engine's
+//! deterministic assembly and caching unchanged.
 
 use crate::cache::SweepCache;
 use crate::job::{Job, JobKind};
@@ -75,6 +82,106 @@ impl SweepOptions {
         };
         requested.clamp(1, pending.max(1))
     }
+}
+
+/// Where one job's simulation actually runs.
+///
+/// The engine resolves workloads, probes the cache, orders results, and
+/// schedules jobs onto worker threads; an `Executor` only answers "run
+/// this job, give me validated stats". Implementations must be safe to
+/// call from many threads at once.
+pub trait Executor: Send + Sync {
+    /// Executes one resolved job to completion. `slot` is the job's
+    /// position in the input order (used to name per-job artifacts);
+    /// errors are human-readable strings carried into [`JobFailure`].
+    fn run(&self, job: &Job, workload: &Workload, slot: usize) -> Result<RunStats, String>;
+
+    /// Short executor name for logs and stats endpoints.
+    fn name(&self) -> &str;
+}
+
+/// The default executor: simulate in this process, on the calling
+/// thread, with optional per-job metrics artifacts and CPI accounting.
+#[derive(Clone, Debug, Default)]
+pub struct InProcessExecutor {
+    /// See [`SweepOptions::metrics_dir`].
+    pub metrics_dir: Option<PathBuf>,
+    /// See [`SweepOptions::cpi`].
+    pub cpi: bool,
+}
+
+impl InProcessExecutor {
+    /// A plain executor: no metrics artifacts, no CPI accounting.
+    pub fn new() -> InProcessExecutor {
+        InProcessExecutor::default()
+    }
+
+    /// The executor a [`SweepOptions`] describes.
+    pub fn from_options(opts: &SweepOptions) -> InProcessExecutor {
+        InProcessExecutor { metrics_dir: opts.metrics_dir.clone(), cpi: opts.cpi }
+    }
+}
+
+impl Executor for InProcessExecutor {
+    fn run(&self, job: &Job, w: &Workload, slot: usize) -> Result<RunStats, String> {
+        match job.kind {
+            JobKind::Scalar => w.run_scalar(job.cfg).map_err(|e| e.to_string()),
+            JobKind::Multiscalar => match (&self.metrics_dir, self.cpi) {
+                (None, false) => w.run_multiscalar(job.cfg).map_err(|e| e.to_string()),
+                (None, true) => w
+                    .run_multiscalar_with_accountant(job.cfg, CpiAccountant::new())
+                    .map_err(|e| e.to_string()),
+                (Some(dir), cpi) => {
+                    let (stats, sink) = if cpi {
+                        w.run_multiscalar_instrumented(
+                            job.cfg,
+                            MetricsSink::new(),
+                            CpiAccountant::new(),
+                        )
+                        .map_err(|e| e.to_string())?
+                    } else {
+                        w.run_multiscalar_with_sink(job.cfg, MetricsSink::new())
+                            .map_err(|e| e.to_string())?
+                    };
+                    let name = format!("{slot:04}-{}.json", job.id().replace('/', "_"));
+                    let path = dir.join(name);
+                    std::fs::write(&path, sink.into_report().to_json())
+                        .map_err(|e| format!("writing metrics {}: {e}", path.display()))?;
+                    Ok(stats)
+                }
+            },
+        }
+    }
+
+    fn name(&self) -> &str {
+        "in-process"
+    }
+}
+
+/// Runs one cache-missed job on `exec` and publishes the result to the
+/// cache — the single compute path shared by the sweep worker pool and
+/// the `ms-serve` daemon, so a served response and a sweep artifact for
+/// the same design point are the same bytes by construction.
+///
+/// A cache-store failure degrades to "not cached" (reported to stderr);
+/// the result is still valid and returned.
+///
+/// # Errors
+/// Propagates the executor's failure string (assembly, simulation,
+/// validation, or artifact I/O).
+pub fn compute_and_store(
+    job: &Job,
+    workload: &Workload,
+    fingerprint: u64,
+    cache: &SweepCache,
+    exec: &dyn Executor,
+    slot: usize,
+) -> Result<RunStats, String> {
+    let stats = exec.run(job, workload, slot)?;
+    if let Err(e) = cache.store(&job.cache_key(fingerprint), &stats) {
+        eprintln!("ms-sweep: cache store failed for {}: {e}", job.id());
+    }
+    Ok(stats)
 }
 
 /// A successfully settled design point.
@@ -194,6 +301,14 @@ impl Progress {
 /// sweeps can hand-build jobs with arbitrary [`multiscalar::SimConfig`]s).
 /// Results come back in input order; see the module docs for the phases.
 pub fn run_jobs(jobs: Vec<Job>, opts: &SweepOptions) -> SweepReport {
+    run_jobs_with(jobs, opts, &InProcessExecutor::from_options(opts))
+}
+
+/// Like [`run_jobs`], but every cache-missed job executes on `exec`
+/// instead of the default [`InProcessExecutor`]. The engine still owns
+/// workload resolution, the cache probe, the worker pool, and the
+/// deterministic input-order assembly.
+pub fn run_jobs_with(jobs: Vec<Job>, opts: &SweepOptions, exec: &dyn Executor) -> SweepReport {
     let total = jobs.len();
     let workloads = resolve_workloads(&jobs);
     let progress = Progress::new(opts.progress, total);
@@ -252,13 +367,15 @@ pub fn run_jobs(jobs: Vec<Job>, opts: &SweepOptions) -> SweepReport {
                         [&(job.workload.to_ascii_lowercase(), job.scale)]
                         .as_ref()
                         .expect("pending jobs have resolved workloads");
-                    let outcome = match execute(job, workload, opts, *slot) {
+                    let outcome = match compute_and_store(
+                        job,
+                        workload,
+                        *fingerprint,
+                        &opts.cache,
+                        exec,
+                        *slot,
+                    ) {
                         Ok(stats) => {
-                            if let Err(e) = opts.cache.store(&job.cache_key(*fingerprint), &stats) {
-                                // Degrade to "not cached"; the result is
-                                // still valid.
-                                eprintln!("ms-sweep: cache store failed for {}: {e}", job.id());
-                            }
                             progress.tick(job, &format!("{} cycles", stats.cycles));
                             Ok(JobOutcome { job: job.clone(), stats, cached: false })
                         }
@@ -279,38 +396,6 @@ pub fn run_jobs(jobs: Vec<Job>, opts: &SweepOptions) -> SweepReport {
         .map(|slot| slot.into_inner().unwrap().expect("every slot settled"))
         .collect();
     SweepReport { outcomes, executed, cache_hits }
-}
-
-/// Runs one job to completion, including the optional per-job metrics
-/// artifact.
-fn execute(job: &Job, w: &Workload, opts: &SweepOptions, slot: usize) -> Result<RunStats, String> {
-    match job.kind {
-        JobKind::Scalar => w.run_scalar(job.cfg).map_err(|e| e.to_string()),
-        JobKind::Multiscalar => match (&opts.metrics_dir, opts.cpi) {
-            (None, false) => w.run_multiscalar(job.cfg).map_err(|e| e.to_string()),
-            (None, true) => w
-                .run_multiscalar_with_accountant(job.cfg, CpiAccountant::new())
-                .map_err(|e| e.to_string()),
-            (Some(dir), cpi) => {
-                let (stats, sink) = if cpi {
-                    w.run_multiscalar_instrumented(
-                        job.cfg,
-                        MetricsSink::new(),
-                        CpiAccountant::new(),
-                    )
-                    .map_err(|e| e.to_string())?
-                } else {
-                    w.run_multiscalar_with_sink(job.cfg, MetricsSink::new())
-                        .map_err(|e| e.to_string())?
-                };
-                let name = format!("{slot:04}-{}.json", job.id().replace('/', "_"));
-                let path = dir.join(name);
-                std::fs::write(&path, sink.into_report().to_json())
-                    .map_err(|e| format!("writing metrics {}: {e}", path.display()))?;
-                Ok(stats)
-            }
-        },
-    }
 }
 
 #[cfg(test)]
@@ -359,6 +444,38 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert!(failures[0].to_string().contains("nosuchbenchmark"));
         assert_eq!(report.successes().count(), 1);
+    }
+
+    #[test]
+    fn custom_executors_see_every_cache_miss() {
+        struct Counting(AtomicUsize, InProcessExecutor);
+        impl Executor for Counting {
+            fn run(
+                &self,
+                job: &Job,
+                w: &ms_workloads::Workload,
+                slot: usize,
+            ) -> Result<RunStats, String> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                self.1.run(job, w, slot)
+            }
+            fn name(&self) -> &str {
+                "counting"
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("ms-sweep-exec-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions { cache: SweepCache::at(&dir), ..SweepOptions::default() };
+        let exec = Counting(AtomicUsize::new(0), InProcessExecutor::from_options(&opts));
+
+        let cold = run_jobs_with(tiny_jobs(), &opts, &exec);
+        assert_eq!(exec.0.load(Ordering::Relaxed), 2, "both points executed");
+        assert_eq!(cold.cache_hits, 0);
+
+        let warm = run_jobs_with(tiny_jobs(), &opts, &exec);
+        assert_eq!(exec.0.load(Ordering::Relaxed), 2, "warm run never touches the executor");
+        assert_eq!(warm.cache_hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod job;
 pub mod spec;
 pub mod statsio;
 
-pub use cache::SweepCache;
-pub use engine::{run_jobs, run_sweep, JobFailure, JobOutcome, SweepOptions, SweepReport};
+pub use cache::{CacheDirError, SweepCache};
+pub use engine::{
+    compute_and_store, run_jobs, run_jobs_with, run_sweep, Executor, InProcessExecutor, JobFailure,
+    JobOutcome, SweepOptions, SweepReport,
+};
 pub use job::{Job, JobKind};
 pub use spec::SweepSpec;

@@ -27,6 +27,7 @@ pub mod event;
 pub mod histogram;
 pub mod json;
 pub mod jsonl;
+pub mod jsonv;
 pub mod metrics;
 pub mod sink;
 
