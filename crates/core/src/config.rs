@@ -51,6 +51,14 @@ pub struct SimConfig {
     pub predictor: crate::PredictorKind,
     /// Response to ARB capacity exhaustion (paper default: stall).
     pub arb_full_policy: crate::ArbFullPolicy,
+    /// Event-driven skip-ahead stepping (on by default): when the whole
+    /// machine is provably quiet for N cycles, the clock jumps by N and
+    /// the skipped cycles are bulk-charged to the same accounting
+    /// buckets the ticked loop would have used. Purely a host-side
+    /// optimization — results are byte-identical in both modes (see
+    /// DESIGN.md §13) — so it is deliberately *excluded* from
+    /// [`SimConfig::stable_key`].
+    pub skip_ahead: bool,
 }
 
 impl SimConfig {
@@ -77,6 +85,7 @@ impl SimConfig {
             ring_width: None,
             predictor: crate::PredictorKind::Pas,
             arb_full_policy: crate::ArbFullPolicy::Stall,
+            skip_ahead: true,
         }
     }
 
@@ -145,6 +154,25 @@ impl SimConfig {
         self
     }
 
+    /// Enables or disables event-driven skip-ahead stepping (builder
+    /// style). On by default; turning it off forces the classic
+    /// one-cycle-per-step loop. The two modes are observationally
+    /// indistinguishable — `RunStats` and CPI stacks are byte-identical
+    /// (pinned by `tests/golden_stats.rs` and `tests/cpi_conservation.rs`)
+    /// — so the sweep-cache key deliberately ignores the knob:
+    ///
+    /// ```
+    /// use multiscalar::SimConfig;
+    /// let fast = SimConfig::multiscalar(4);
+    /// let ticked = fast.skip_ahead(false);
+    /// assert!(fast.skip_ahead && !ticked.skip_ahead);
+    /// assert_eq!(fast.stable_key(), ticked.stable_key());
+    /// ```
+    pub fn skip_ahead(mut self, on: bool) -> SimConfig {
+        self.skip_ahead = on;
+        self
+    }
+
     /// A canonical, versioned, line-oriented serialization of every field
     /// that affects simulation results.
     ///
@@ -153,6 +181,11 @@ impl SimConfig {
     /// `Hash`, whose hasher may change), so it is safe to use in on-disk
     /// cache keys. The leading `simconfig v1` token must be bumped
     /// whenever a field is added, removed, or changes meaning.
+    ///
+    /// [`SimConfig::skip_ahead`] is deliberately absent: it cannot
+    /// affect simulation results (both modes are byte-identical), and
+    /// keying on it would needlessly split the sweep cache between the
+    /// fast and the ticked stepper.
     pub fn stable_key(&self) -> String {
         let predictor = match self.predictor {
             crate::PredictorKind::Pas => "pas",
@@ -283,5 +316,14 @@ mod tests {
         let mut tiny = base;
         tiny.arb_capacity = 8;
         assert_ne!(tiny.stable_key(), base_key);
+    }
+
+    #[test]
+    fn stable_key_ignores_skip_ahead() {
+        // Skip-ahead is observationally neutral; the cache key must be
+        // shared so ticked and skip-ahead runs hit the same entries.
+        let base = SimConfig::multiscalar(8);
+        assert_eq!(base.skip_ahead(false).stable_key(), base.stable_key());
+        assert_ne!(base.skip_ahead(false), base, "Eq still sees the knob");
     }
 }

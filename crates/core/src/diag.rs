@@ -8,6 +8,11 @@
 //! identity and age. The snapshot [`Display`](std::fmt::Display)s as a
 //! readable dump and serializes to JSON (fixed field order) for
 //! `mstrace`-style tooling.
+//!
+//! Snapshots taken under skip-ahead are identical to ticked ones: the
+//! timeout/watchdog cycle is pinned by the scheduler's wake clamps
+//! (DESIGN.md §13.2), and the per-unit stall reason a parked unit
+//! reports is the one its quiet certificate proved constant.
 
 use ms_trace::{json, StallReason};
 use std::fmt;

@@ -106,13 +106,16 @@ pub fn validate_source(src: &str, adversarial: bool, opts: &ValidateOpts) -> Cas
 
     // Scalar reference. The scalar binary is identical for every
     // perturbation of a base program (annotations are stripped), so a
-    // scalar failure is always a generator bug.
+    // scalar failure is always a generator bug. The oracle only
+    // compares final memory, registers, and instruction counts — never
+    // scalar cycles — so the greedy `run_fast` path (no pipeline or
+    // memory-system modelling) is a legal and much faster reference.
     let cfg = SimConfig::scalar().max_cycles(opts.max_cycles);
     let mut scalar = match ScalarProcessor::new(sc_prog, cfg) {
         Ok(s) => s,
         Err(e) => return CaseOutcome::fail("scalar-error", e.to_string()),
     };
-    let sc_stats = match scalar.run() {
+    let sc_stats = match scalar.run_fast() {
         Ok(s) => s,
         Err(e) => return CaseOutcome::fail("scalar-error", e.to_string()),
     };

@@ -280,49 +280,76 @@ impl Arb {
                     return Err(ArbFull { bank });
                 }
             }
+        } else if Self::split(addr, size)
+            .all(|(line, _, _)| !self.banks[self.bank_of(line)].contains_key(&line))
+        {
+            // Head fast path: the head records no load bits, so with no
+            // ARB entry on any touched line the whole access is a plain
+            // memory read — the common case for non-speculative traffic.
+            self.stats.loads += 1;
+            return Ok(LoadResult { value: mem.read_le(addr, size), forwarded: false });
         }
 
-        for (line, mask, chunk_off) in Self::split(addr, size) {
-            let mut need_load_bits = 0u8;
-            {
-                let bank = self.bank_of(line);
-                let entry = self.banks[bank].get(&line);
-                for bit in 0..8u8 {
-                    if mask & (1 << bit) == 0 {
-                        continue;
+        for (line, mask, _chunk_off) in Self::split(addr, size) {
+            let bank = self.bank_of(line);
+            let entry = self.banks[bank].get(&line);
+
+            // No ARB entry covers this line: every byte comes straight
+            // from memory, in one contiguous chunk (split masks are
+            // contiguous), so a single table walk serves it.
+            if entry.is_none() && my_rank == 0 {
+                let base = (line << 3) | mask.trailing_zeros();
+                value |= mem.read_le(base, mask.count_ones()) << (8 * (base - addr));
+                continue;
+            }
+
+            // Resolve bytes by scanning ranks nearest-first as bit masks:
+            // each stage claims whatever still-unresolved bytes its store
+            // mask covers, exactly reproducing the per-byte
+            // "nearest store at or before our rank" rule.
+            let mut remaining = mask;
+            let mut from_own = 0u8;
+            if let Some(e) = entry {
+                for back in 0..=my_rank {
+                    if remaining == 0 {
+                        break;
                     }
-                    let global_addr = (line << 3) | bit as u32;
-                    let byte_index_in_value = global_addr - addr;
-                    debug_assert!(byte_index_in_value < size);
-                    let _ = chunk_off;
-                    let mut byte = None;
-                    let mut from_own = false;
-                    if let Some(e) = entry {
-                        // Nearest store at or before our rank.
-                        for back in 0..=my_rank {
-                            let r = my_rank - back;
-                            let s = (self.head + r) % self.nstages;
-                            let st = &e.stages[s];
-                            if st.store_mask & (1 << bit) != 0 {
-                                byte = Some(st.bytes[bit as usize]);
-                                from_own = back == 0;
-                                if back != 0 {
-                                    forwarded = true;
-                                }
-                                break;
-                            }
+                    let r = my_rank - back;
+                    let s = (self.head + r) % self.nstages;
+                    let st = &e.stages[s];
+                    let hit = st.store_mask & remaining;
+                    if hit != 0 {
+                        if back == 0 {
+                            from_own = hit;
+                        } else {
+                            forwarded = true;
                         }
-                    }
-                    let b = byte.unwrap_or_else(|| mem.read_u8(global_addr));
-                    value |= (b as u64) << (8 * byte_index_in_value);
-                    if !from_own && my_rank != 0 {
-                        need_load_bits |= 1 << bit;
+                        let mut h = hit;
+                        while h != 0 {
+                            let bit = h.trailing_zeros();
+                            h &= h - 1;
+                            let global_addr = (line << 3) | bit;
+                            value |= (st.bytes[bit as usize] as u64) << (8 * (global_addr - addr));
+                        }
+                        remaining &= !hit;
                     }
                 }
             }
-            if need_load_bits != 0 {
-                let e = self.entry_mut(line, stage)?;
-                e.stages[stage].load_mask |= need_load_bits;
+            let mut h = remaining;
+            while h != 0 {
+                let bit = h.trailing_zeros();
+                h &= h - 1;
+                let global_addr = (line << 3) | bit;
+                value |= (mem.read_u8(global_addr) as u64) << (8 * (global_addr - addr));
+            }
+            // Every byte not supplied by our own store records a load bit
+            // (the violation-detection footprint); the head never does.
+            if my_rank != 0 {
+                let need_load_bits = mask & !from_own;
+                if need_load_bits != 0 {
+                    let e = self.entry_mut(line, stage)?;
+                    e.stages[stage].load_mask |= need_load_bits;
+                }
             }
         }
         self.stats.loads += 1;

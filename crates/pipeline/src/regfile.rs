@@ -106,6 +106,18 @@ impl RegFile {
         self.ready_at[r.index()] = self.ready_at[r.index()].max(now);
     }
 
+    /// The cycle at which the latest local writer's result becomes
+    /// readable (0 if never locally written). The skip-ahead probe uses
+    /// this to bound how long a `WaitLocal` operand stays blocked.
+    #[inline]
+    pub fn ready_at(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.ready_at[r.index()]
+        }
+    }
+
     /// Registers still awaiting inter-task delivery.
     pub fn awaiting(&self) -> RegMask {
         self.awaiting

@@ -235,6 +235,32 @@ pub struct ProcessingUnit {
     /// task assignment: diagnostic snapshots want the whole history,
     /// and per-task slices come from the cycle accountant instead.
     stall_hist: [u64; StallReason::COUNT],
+    /// Event-driven parking (DESIGN.md §13): while `now < parked_until`,
+    /// [`ProcessingUnit::tick`] takes a fast path that replays the
+    /// cached quiet classification instead of re-deriving it — the
+    /// [`ProcessingUnit::quiet_until`] certificate proved every such
+    /// cycle is a no-op with a constant stall reason. Any external
+    /// input (ring delivery, assignment, squash) clears the park.
+    parked_until: u64,
+    /// The stall reason every parked cycle replays.
+    parked_reason: StallReason,
+    /// Whether ticks may park (off under fault injection, or when the
+    /// caller wants the classic fully re-derived per-cycle loop).
+    park_enabled: bool,
+    /// Host-side telemetry: (probe attempts, successful parks, parked
+    /// cycles replayed). Never part of simulated results.
+    park_stats: (u64, u64, u64),
+    /// A park was established and has not been assessed yet.
+    park_open: bool,
+    /// `park_stats.2` at the moment the open park was established —
+    /// assessment measures the park's realized yield against it.
+    park_snap: u64,
+    /// Probe cooldown: decremented instead of probing. Set when a park
+    /// dies young (an external input kills it after < 2 cheap cycles —
+    /// the churn pattern where e.g. a remote value arrives one cycle
+    /// after the park). Purely a host-time heuristic: parking is
+    /// observationally neutral, so backing off cannot change results.
+    park_debt: u8,
 }
 
 impl ProcessingUnit {
@@ -267,7 +293,43 @@ impl ProcessingUnit {
             fault: None,
             last_stall: None,
             stall_hist: [0; StallReason::COUNT],
+            parked_until: 0,
+            parked_reason: StallReason::FetchEmpty,
+            park_enabled: true,
+            park_stats: (0, 0, 0),
+            park_open: false,
+            park_snap: 0,
+            park_debt: 0,
         }
+    }
+
+    /// Host-side parking telemetry: `(probes, parks, cycles replayed)`.
+    pub fn park_stats(&self) -> (u64, u64, u64) {
+        self.park_stats
+    }
+
+    /// The live park certificate covering cycle `from`, if any: the
+    /// cached `(wake, reason)` of an earlier [`ProcessingUnit::quiet_until`]
+    /// probe. Still sound because every external input (ring delivery,
+    /// assignment, squash, retirement) clears the park, so the quiet
+    /// span it proved continues to hold. Lets the whole-machine skip
+    /// reuse the unit's own conclusion instead of re-deriving it.
+    pub fn parked_claim(&self, from: u64) -> Option<(u64, StallReason)> {
+        if from < self.parked_until {
+            Some((self.parked_until, self.parked_reason))
+        } else {
+            None
+        }
+    }
+
+    /// Enables or disables event-driven parking. Parking is
+    /// observationally neutral — ticks produce identical outputs,
+    /// counters, and stall classifications either way — so this only
+    /// trades host time; it must be off under fault injection, whose
+    /// perturbations are cycle-indexed.
+    pub fn set_parking(&mut self, on: bool) {
+        self.park_enabled = on;
+        self.parked_until = 0;
     }
 
     /// This unit's index.
@@ -321,6 +383,11 @@ impl ProcessingUnit {
         self.counters = TaskCounters::default();
         self.fault = None;
         self.last_stall = None;
+        // Kill any live park; `park_open`/`park_debt` deliberately
+        // survive task boundaries — probe churn (e.g. wait-retire parks
+        // killed at every retirement) repeats across consecutive tasks
+        // on the same unit, so the backoff must too.
+        self.parked_until = 0;
     }
 
     /// Squash: discard the task and all pipeline state. The forwarded view
@@ -331,6 +398,7 @@ impl ProcessingUnit {
         self.pending_sends.clear();
         self.fetch_mode = FetchMode::Stopped;
         self.release_on_arrival = RegMask::EMPTY;
+        self.parked_until = 0;
     }
 
     /// Retire: free the unit, keeping the forwarded view for successor
@@ -342,6 +410,7 @@ impl ProcessingUnit {
         assert!(self.is_complete(now), "retiring incomplete task on unit {}", self.id);
         self.active = false;
         self.fetch_mode = FetchMode::Stopped;
+        self.parked_until = 0;
     }
 
     /// Whether the assigned task has fully completed: its stop resolved,
@@ -408,6 +477,9 @@ impl ProcessingUnit {
         if !self.active {
             return false;
         }
+        // An external input: whatever quiet span was proven no longer
+        // holds (the delivered value may unblock issue next cycle).
+        self.parked_until = 0;
         self.regs.deliver(r, v, now);
         if self.create.contains(r) {
             if self.release_on_arrival.remove(r) {
@@ -493,6 +565,30 @@ impl ProcessingUnit {
             out.stall = Some(StallClass::Idle);
             return out;
         }
+        if now < self.parked_until {
+            // Parked fast path: a quiet_until certificate proved this
+            // cycle is a no-op with this exact classification, so replay
+            // the bookkeeping the slow path would have produced.
+            let reason = self.parked_reason;
+            self.park_stats.2 += 1;
+            self.last_stall = Some(reason);
+            self.stall_hist[reason.index()] += 1;
+            if S::ENABLED {
+                sink.event(&TraceEvent::UnitStall { cycle: now, unit: self.id, reason });
+            }
+            let stall = match reason {
+                StallReason::RemoteDep => StallClass::InterTask,
+                StallReason::WaitRetire => StallClass::WaitRetire,
+                _ => StallClass::IntraTask,
+            };
+            match stall {
+                StallClass::InterTask => self.counters.inter_task_cycles += 1,
+                StallClass::WaitRetire => self.counters.wait_retire_cycles += 1,
+                _ => self.counters.intra_task_cycles += 1,
+            }
+            out.stall = Some(stall);
+            return out;
+        }
         self.fu.begin_cycle();
 
         let mut first_block: Option<Blocked> = None;
@@ -575,6 +671,63 @@ impl ProcessingUnit {
             self.stall_hist[reason.index()] += 1;
             if S::ENABLED {
                 sink.event(&TraceEvent::UnitStall { cycle: now, unit: self.id, reason });
+            }
+            // Try to park for the rest of this stall. Only reasons that
+            // produce multi-cycle waits are worth the probe: FetchEmpty
+            // resolves next cycle (the fetch pipeline refills every
+            // cycle), and FuBusy/Hazard/ArbFull sit next to an issuable
+            // slot, where the probe would refuse anyway.
+            if self.park_enabled
+                && matches!(
+                    reason,
+                    StallReason::LocalDep
+                        | StallReason::RemoteDep
+                        | StallReason::CacheMiss
+                        | StallReason::Drain
+                        | StallReason::WaitRetire
+                )
+            {
+                // Assess the previous park first: one killed *externally*
+                // (`parked_until` zeroed by an input) after < 2 realized
+                // cycles (counting cycles the whole-machine skip consumed
+                // on its behalf) means probes here churn — e.g. a
+                // remote-dep park whose value arrives one cycle later —
+                // so hold off for a few stall cycles before paying again.
+                // A park that ran out naturally proved an exact span and
+                // is never punished, however short.
+                if self.park_open {
+                    self.park_open = false;
+                    if self.parked_until == 0 && self.park_stats.2.wrapping_sub(self.park_snap) < 2
+                    {
+                        self.park_debt = 8;
+                    }
+                }
+                if self.park_debt > 0 {
+                    self.park_debt -= 1;
+                } else {
+                    self.park_stats.0 += 1;
+                    let mut parked = false;
+                    if let Some((wake, span_reason)) = self.quiet_until(now + 1) {
+                        if wake > now + 1 {
+                            self.park_stats.1 += 1;
+                            self.parked_until = wake;
+                            self.parked_reason = span_reason;
+                            self.park_open = true;
+                            self.park_snap = self.park_stats.2;
+                            parked = true;
+                        }
+                    }
+                    // A failed probe (no certificate, or a 1-cycle span not
+                    // worth parking) predicts another failure next cycle,
+                    // so sit out one cycle before probing again. This
+                    // halves probe waste on workloads that stall one cycle
+                    // at a time, while a real quiet span loses at most one
+                    // cycle of coverage — longer backoffs measurably eat
+                    // into short parks (Compress averages ~13-cycle spans).
+                    if !parked {
+                        self.park_debt = 1;
+                    }
+                }
             }
         } else {
             self.last_stall = None;
@@ -934,6 +1087,201 @@ impl ProcessingUnit {
         }
     }
 
+    /// The conservative skip-ahead probe (see the core crate's
+    /// `DESIGN.md` §13 for the full safety argument).
+    ///
+    /// Decides whether every cycle in `[from, wake)` would be a pure
+    /// bookkeeping tick for this unit — zero instructions issued, no
+    /// fetch, no memory-system access, no completion transition, no
+    /// pending ring send coming due, and a *constant* stall
+    /// classification — and if so returns `(wake, reason)`: the first
+    /// cycle at which the unit may act (or its classification may
+    /// change), and the [`StallReason`] every skipped cycle would have
+    /// been charged.
+    ///
+    /// Returns `None` when the unit may act at `from` itself, or when
+    /// quietness cannot be cheaply proven. `wake` may be `u64::MAX` when
+    /// only an *external* event (a ring delivery, squash, or retire —
+    /// all bounded separately by the caller) can change this unit's
+    /// state.
+    pub fn quiet_until(&self, from: u64) -> Option<(u64, StallReason)> {
+        if !self.active || self.fault.is_some() {
+            return None;
+        }
+        if self.stop_resolved && !self.exit_reported {
+            // The exit report is due: the caller must observe it.
+            return None;
+        }
+        let mut wake = u64::MAX;
+
+        // Fetch: would run once `fetch_ready_at` is reached (a miss fill
+        // completing, a redirect bubble expiring). Even when fetch is
+        // blocked by mode or a full buffer, `fetch_ready_at` still bounds
+        // the CacheMiss → FetchEmpty classification flip.
+        if self.fetch_mode == FetchMode::Run && self.buf.len() < self.cfg.fetch_buffer {
+            if self.fetch_ready_at <= from {
+                return None;
+            }
+            wake = wake.min(self.fetch_ready_at);
+        } else if self.fetch_ready_at > from {
+            wake = wake.min(self.fetch_ready_at);
+        }
+
+        // Completion: the one-shot auto-release fires — and the
+        // Drain → WaitRetire classification flips — at `outstanding_max`.
+        if self.stop_resolved && self.buf.is_empty() {
+            if !self.completion_handled {
+                if self.outstanding_max <= from {
+                    return None;
+                }
+                wake = wake.min(self.outstanding_max);
+            } else if self.outstanding_max > from {
+                wake = wake.min(self.outstanding_max);
+            }
+        }
+
+        // Pending ring sends are drained in the cycle they come due.
+        for &(cycle, _, _) in &self.pending_sends {
+            if cycle <= from {
+                return None;
+            }
+            wake = wake.min(cycle);
+        }
+
+        // Issue: every slot the issue loop would consider must be
+        // provably blocked at `from` (an issuable slot executes — and may
+        // touch the ARB — so it is always an event, even if it would
+        // bounce off a full ARB).
+        let considered =
+            if self.cfg.ooo { self.cfg.window.min(self.buf.len()) } else { self.buf.len().min(1) };
+        for idx in 0..considered {
+            wake = wake.min(self.slot_wake(idx, from)?);
+        }
+        if wake <= from {
+            return None;
+        }
+
+        // Mirror the classification `tick` would produce for every cycle
+        // of the span (the bounds above guarantee it cannot flip before
+        // `wake`). FuBusy/Hazard/ArbFull are unreachable here: slot 0 is
+        // never hazard-blocked, the FU pool resets each cycle, and an
+        // ARB-touching slot already returned `None`.
+        let reason = if self.stop_resolved && self.buf.is_empty() {
+            if from >= self.outstanding_max {
+                StallReason::WaitRetire
+            } else {
+                StallReason::Drain
+            }
+        } else {
+            let fetch_reason = if from < self.fetch_ready_at && self.icache.last_fetch_missed() {
+                StallReason::CacheMiss
+            } else {
+                StallReason::FetchEmpty
+            };
+            match self.buf.front() {
+                None => fetch_reason,
+                Some(slot) if slot.ready_from > from => fetch_reason,
+                Some(slot) => {
+                    let mut remote = false;
+                    let mut local = false;
+                    if !matches!(slot.instr.op, Op::Release { .. }) {
+                        for r in slot.meta.uses.iter() {
+                            match self.regs.status(r, from) {
+                                ReadStatus::Ready => {}
+                                ReadStatus::WaitLocal => local = true,
+                                ReadStatus::WaitRemote => remote = true,
+                            }
+                        }
+                    }
+                    if remote {
+                        StallReason::RemoteDep
+                    } else if local {
+                        StallReason::LocalDep
+                    } else {
+                        return None; // defensive: an issuable head slot
+                    }
+                }
+            }
+        };
+        Some((wake, reason))
+    }
+
+    /// When can buffer slot `idx` first issue? `None` means it can issue
+    /// at `from` (not a quiet cycle); `u64::MAX` means only an external
+    /// event (ring delivery, or an older slot issuing) can unblock it.
+    fn slot_wake(&self, idx: usize, from: u64) -> Option<u64> {
+        let slot = &self.buf[idx];
+        // Out-of-order hazards against older slots clear only when an
+        // older slot issues — and every older slot's own wake bounds
+        // that — so a hazard-blocked slot imposes no time bound itself.
+        if self.cfg.ooo && idx > 0 {
+            let me = &slot.meta;
+            let my_def = me.def;
+            let my_is_mem = me.is_load || me.is_store;
+            for j in 0..idx {
+                let older = &self.buf[j].meta;
+                if older.is_control || (my_is_mem && (older.is_load || older.is_store)) {
+                    return Some(u64::MAX);
+                }
+                if let Some(d) = older.def {
+                    if me.uses_mask.contains(d) || (my_def == Some(d) && !d.is_zero()) {
+                        return Some(u64::MAX);
+                    }
+                }
+                if let Some(d) = my_def {
+                    if !d.is_zero() && older.uses_mask.contains(d) {
+                        return Some(u64::MAX);
+                    }
+                }
+            }
+        }
+        if idx == 0 && slot.ready_from > from {
+            // The head slot drives the stall classification, which flips
+            // from a fetch reason to an operand reason once the slot
+            // decodes: stop the skip at the flip, not at eventual issue.
+            return Some(slot.ready_from);
+        }
+        let mut t = slot.ready_from;
+        if !matches!(slot.instr.op, Op::Release { .. }) {
+            for r in slot.meta.uses.iter() {
+                match self.regs.status(r, from) {
+                    ReadStatus::Ready => {}
+                    ReadStatus::WaitLocal => t = t.max(self.regs.ready_at(r)),
+                    // Cleared only by a ring delivery.
+                    ReadStatus::WaitRemote => return Some(u64::MAX),
+                }
+            }
+        }
+        if t <= from {
+            None // issuable at `from`
+        } else {
+            Some(t)
+        }
+    }
+
+    /// Applies the per-cycle bookkeeping of `n` consecutive ticks that
+    /// [`ProcessingUnit::quiet_until`] proved to be no-ops: the
+    /// Section-3 class counter, the fine-grained stall histogram and the
+    /// last-stall marker end up exactly as if [`ProcessingUnit::tick`]
+    /// had run `n` times classifying `reason` each cycle.
+    pub fn skip_charge(&mut self, n: u64, reason: StallReason) {
+        debug_assert!(self.active, "skip_charge on an idle unit");
+        match reason {
+            StallReason::RemoteDep => self.counters.inter_task_cycles += n,
+            StallReason::WaitRetire => self.counters.wait_retire_cycles += n,
+            StallReason::ArbFull => self.counters.arb_stall_cycles += n,
+            _ => self.counters.intra_task_cycles += n,
+        }
+        self.stall_hist[reason.index()] += n;
+        self.last_stall = Some(reason);
+        // Cycles the whole-machine skip consumed under a live park count
+        // as realized yield, so the assessment above doesn't mistake a
+        // good park for churn just because the global jump ate its span.
+        if self.parked_until != 0 {
+            self.park_stats.2 += n;
+        }
+    }
+
     fn completion_phase(&mut self, now: u64) {
         if self.completion_handled
             || !self.stop_resolved
@@ -1151,6 +1499,67 @@ mod tests {
     }
 
     #[test]
+    fn quiet_probe_matches_ticked_execution() {
+        // At every cycle of a real run, if the probe claims the machine
+        // is quiet until `wake`, the actual tick must issue nothing and
+        // charge exactly the predicted stall reason. Re-probing every
+        // cycle covers the whole claimed span.
+        let src = "\n.data\nv: .word 7\n.text\nmain:\n la $5, v\n lw $2, 0($5)\n addu $3, $2, $2\n mul $4, $3, $3\n div $6, $4, $3\n sw $6, 8($5)\n lw $7, 8($5)\n halt\n";
+        for cfg in [
+            UnitConfig::default(),
+            UnitConfig { issue_width: 2, ..UnitConfig::default() },
+            UnitConfig { ooo: true, issue_width: 2, ..UnitConfig::default() },
+        ] {
+            let mut rig = Rig::build(src, cfg);
+            let mut quiet_cycles = 0u64;
+            for _ in 0..200_000u64 {
+                let claim = rig.unit.quiet_until(rig.now);
+                let mut ports = MemPorts {
+                    mem: &mut rig.mem,
+                    bus: &mut rig.bus,
+                    banks: &mut rig.banks,
+                    arb: None,
+                    stage: 0,
+                    active_ranks: 1,
+                };
+                let out = rig.unit.tick(rig.now, &rig.prog, &mut ports);
+                if let Some((wake, reason)) = claim {
+                    assert!(wake > rig.now, "wake must lie in the future");
+                    assert_eq!(out.issued, 0, "cycle {} claimed quiet", rig.now);
+                    assert_eq!(
+                        rig.unit.stall_reason(),
+                        Some(reason),
+                        "cycle {} reason mismatch",
+                        rig.now
+                    );
+                    quiet_cycles += 1;
+                }
+                if out.exit == Some(ExitKind::Halt) && rig.unit.is_complete(rig.now) {
+                    break;
+                }
+                rig.now += 1;
+            }
+            assert!(quiet_cycles > 0, "run must contain provably quiet cycles");
+        }
+    }
+
+    #[test]
+    fn skip_charge_maps_reasons_to_section3_classes() {
+        let mut rig = Rig::scalar("main:\n halt\n");
+        rig.unit.skip_charge(3, StallReason::RemoteDep);
+        rig.unit.skip_charge(2, StallReason::WaitRetire);
+        rig.unit.skip_charge(5, StallReason::CacheMiss);
+        rig.unit.skip_charge(1, StallReason::ArbFull);
+        let c = rig.unit.counters();
+        assert_eq!(c.inter_task_cycles, 3);
+        assert_eq!(c.wait_retire_cycles, 2);
+        assert_eq!(c.intra_task_cycles, 5);
+        assert_eq!(c.arb_stall_cycles, 1);
+        assert_eq!(rig.unit.stall_histogram()[StallReason::CacheMiss.index()], 5);
+        assert_eq!(rig.unit.stall_reason(), Some(StallReason::ArbFull));
+    }
+
+    #[test]
     fn fault_on_runaway_fetch() {
         let mut rig = Rig::scalar("main:\n nop\n nop\n"); // no halt
         for _ in 0..100 {
@@ -1334,6 +1743,30 @@ A:
         let exit = rig.run_to_exit(40);
         assert_eq!(exit, ExitKind::Halt);
         assert_eq!(rig.unit.reg(Reg::int(3)), 42);
+    }
+
+    #[test]
+    fn quiet_probe_on_inter_task_wait_is_externally_bounded() {
+        let src = "
+main:
+.task targets=halt create=$3
+A:
+    addiu!f $3, $8, 1
+    halt
+";
+        let mut rig = MsRig::new(src, UnitConfig::default());
+        rig.assign_entry([Reg::int(8)].into_iter().collect());
+        // Run past the cold icache fill and decode so the unit settles
+        // on the inter-task operand wait.
+        for _ in 0..40 {
+            rig.tick();
+        }
+        let (wake, reason) = rig.unit.quiet_until(rig.now).expect("remote wait is quiet");
+        assert_eq!(wake, u64::MAX, "only a ring delivery can unblock the unit");
+        assert_eq!(reason, StallReason::RemoteDep);
+        let now = rig.now;
+        rig.unit.receive(Reg::int(8), 41, now);
+        assert!(rig.unit.quiet_until(now).is_none(), "delivered operand makes the slot issuable");
     }
 
     #[test]

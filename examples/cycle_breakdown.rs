@@ -9,7 +9,9 @@
 //!
 //! Also emits a Chrome `trace_event` timeline per benchmark (open in
 //! Perfetto or `chrome://tracing`) showing each unit's task spans and the
-//! squash waves behind the "non-useful" bucket.
+//! squash waves behind the "non-useful" bucket. Timelines are written
+//! under `target/examples/` so build products never land in the source
+//! tree (the exact path is printed per benchmark).
 //!
 //! ```text
 //! cargo run --release --example cycle_breakdown
@@ -22,9 +24,12 @@ use std::fs::File;
 use std::io::BufWriter;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/examples");
+    std::fs::create_dir_all(out_dir)?;
     for name in ["Cmp", "Compress", "Gcc"] {
         let w = by_name(name, Scale::Test).expect("workload");
-        let trace_path = format!("cycle_breakdown_{}.trace.json", name.to_ascii_lowercase());
+        let trace_path =
+            out_dir.join(format!("cycle_breakdown_{}.trace.json", name.to_ascii_lowercase()));
         let sink = ChromeTraceSink::new(BufWriter::new(File::create(&trace_path)?));
         let (stats, sink) = w.run_multiscalar_with_sink(SimConfig::multiscalar(8), sink)?;
         let (_, err) = sink.into_inner();
@@ -33,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("=== {name} (8 units, 1-way, in-order) ===");
         println!("{}", stats);
-        println!("timeline: {trace_path} (load in Perfetto)\n");
+        println!("timeline: {} (load in Perfetto)\n", trace_path.display());
     }
     println!(
         "cmp keeps its units busy; compress stalls successors on the `ent` \

@@ -7,6 +7,7 @@
 //! * [`ms_isa`] — the annotated instruction set,
 //! * [`ms_asm`] — the assembler (scalar + multiscalar binaries from one
 //!   source),
+//! * [`ms_cfg`] — control-flow-graph walking for task annotation,
 //! * [`ms_memsys`] — memory, caches, bus, and the Address Resolution
 //!   Buffer,
 //! * [`ms_pipeline`] — the processing-unit pipeline,
@@ -14,6 +15,28 @@
 //!   cache,
 //! * [`multiscalar`] — the multiscalar processor and the scalar baseline,
 //! * [`ms_workloads`] — the evaluation benchmark suite.
+//!
+//! ## Where the documentation lives
+//!
+//! The repository's design notes are markdown files at the root, each
+//! the authority on its axis:
+//!
+//! * **DESIGN.md** — what is built and why: system inventory,
+//!   microarchitecture parameters, testing strategy, fault injection,
+//!   differential fuzzing, cycle accounting (§11), and the
+//!   event-driven skip-ahead scheduler with its safety argument (§13).
+//! * **PERFORMANCE.md** — host throughput: the `msperf`/`msprof`
+//!   harnesses, the interleaved A/B methodology, both optimization
+//!   passes, and the `BENCH_perf.json` artifact schema.
+//! * **EXPERIMENTS.md** — simulated results: every paper table and
+//!   figure reproduced, paper numbers beside measured ones.
+//! * **ROADMAP.md** — the north star and open items.
+//!
+//! Simulated behaviour is byte-deterministic: wall-clock never appears
+//! in a result artifact, and host-side optimizations (PERFORMANCE.md)
+//! are admitted only when golden tests prove `RunStats` and CPI stacks
+//! unchanged — see `SimConfig::skip_ahead` for the knob that toggles
+//! the pass-2 scheduler.
 
 pub use ms_asm;
 pub use ms_cfg;

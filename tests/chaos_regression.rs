@@ -12,7 +12,7 @@
 //! ring-delivery hazard this suite was built to catch (a delayed message
 //! skipping past a re-assigned producer's unit); keep it pinned.
 
-use ms_chaos::{run_campaign, Campaign};
+use ms_chaos::{run_campaign, Campaign, FaultPlan};
 
 #[test]
 fn fixed_seed_campaign_passes_and_is_deterministic() {
@@ -41,4 +41,27 @@ fn stale_ring_delivery_regression_stays_fixed() {
     };
     let r = run_campaign(&c).expect("campaign runs");
     assert_eq!(r.failures(), 0, "stale ring delivery resurfaced:\n{}", r.to_json());
+}
+
+/// Fault plans are cycle-indexed, so the skip-ahead scheduler hard-gates
+/// itself off whenever an injector is live (DESIGN.md §13): jumping the
+/// clock would skip the exact cycles a plan was going to perturb.
+/// This point proves the gate — a chaotic run must be byte-identical
+/// whether the config asks for skip-ahead or not.
+#[test]
+fn fault_plans_reproduce_identically_under_skip_ahead_config() {
+    use ms_sweep::statsio::stats_to_json;
+    let w = ms_workloads::by_name("gcc", ms_workloads::Scale::Test).expect("gcc exists");
+    let cfg = multiscalar::SimConfig::multiscalar(4);
+    let (skipped, _) = w
+        .run_multiscalar_with_injector(cfg.skip_ahead(true), FaultPlan::storm(4))
+        .expect("chaotic run (skip-ahead config)");
+    let (ticked, _) = w
+        .run_multiscalar_with_injector(cfg.skip_ahead(false), FaultPlan::storm(4))
+        .expect("chaotic run (ticked config)");
+    assert_eq!(
+        stats_to_json(&skipped),
+        stats_to_json(&ticked),
+        "a fault plan diverged under the skip-ahead config — the injector gate is broken"
+    );
 }

@@ -127,11 +127,26 @@ fn workload_suite_conserves_unit_cycles() {
         for units in [1usize, 4, 8] {
             let cfg = SimConfig::multiscalar(units);
             let label = format!("{} on ms{units}", w.name);
+            // Both clocking modes: skip-ahead bulk-charges whole quiet
+            // spans (`charge_stall_n`), ticked charges cycle by cycle.
+            // Conservation must hold either way, and the two complete
+            // stacks — every bucket, per unit and per task — must be
+            // identical (DESIGN.md §13).
             let stats = w
-                .run_multiscalar_with_accountant(cfg, CpiAccountant::new())
+                .run_multiscalar_with_accountant(cfg.skip_ahead(true), CpiAccountant::new())
                 .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let ticked = w
+                .run_multiscalar_with_accountant(cfg.skip_ahead(false), CpiAccountant::new())
+                .unwrap_or_else(|e| panic!("{label} (ticked): {e}"));
             let cpi = stats.cpi.as_ref().unwrap_or_else(|| panic!("{label}: no CPI stack"));
             assert_conserved(&label, cpi);
+            let cpi_ticked =
+                ticked.cpi.as_ref().unwrap_or_else(|| panic!("{label}: no ticked CPI stack"));
+            assert_eq!(
+                cpi.to_json(),
+                cpi_ticked.to_json(),
+                "{label}: skip-ahead changed the CPI stack"
+            );
         }
     }
 }
@@ -141,13 +156,25 @@ fn golden_path() -> std::path::PathBuf {
 }
 
 /// Pins the complete bucket attribution for Wc on the 4-unit machine.
+/// The snapshot is taken with skip-ahead on (the default) after checking
+/// it renders identically to a ticked run, so the fixture also gates the
+/// skip scheduler's bulk charging.
 #[test]
 fn cpi_stack_matches_golden_fixture() {
     let w = ms_workloads::by_name("Wc", ms_workloads::Scale::Test).expect("Wc exists");
+    let cfg = SimConfig::multiscalar(4);
     let stats = w
-        .run_multiscalar_with_accountant(SimConfig::multiscalar(4), CpiAccountant::new())
+        .run_multiscalar_with_accountant(cfg.skip_ahead(true), CpiAccountant::new())
         .expect("Wc runs");
+    let ticked = w
+        .run_multiscalar_with_accountant(cfg.skip_ahead(false), CpiAccountant::new())
+        .expect("Wc runs ticked");
     let mut snapshot = stats.cpi.expect("accounted run has a stack").to_json();
+    assert_eq!(
+        snapshot,
+        ticked.cpi.expect("ticked run has a stack").to_json(),
+        "skip-ahead changed the golden CPI stack"
+    );
     snapshot.push('\n');
 
     let path = golden_path();

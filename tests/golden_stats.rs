@@ -17,6 +17,12 @@
 //! where the JSON is `ms_sweep::statsio::stats_to_json`'s fixed-order
 //! rendering. Any divergence is a behaviour change, not a speedup.
 //!
+//! Every point additionally runs in both clocking modes — event-driven
+//! skip-ahead (the default) and plain ticked (`skip_ahead(false)`) —
+//! and the two serialized `RunStats` must match byte-for-byte before
+//! either is compared against the golden file. This is the equivalence
+//! gate for the skip-ahead scheduler (DESIGN.md §13).
+//!
 //! To regenerate after an *intentional* behaviour change:
 //!
 //! ```text
@@ -45,13 +51,28 @@ fn current_snapshot() -> String {
     let mut out = String::new();
     for w in suite(Scale::Test) {
         for (name, cfg, multi) in machines() {
-            let stats = if multi { w.run_multiscalar(cfg) } else { w.run_scalar(cfg) }
-                .unwrap_or_else(|e| panic!("{} on {name}: {e}", w.name));
+            // Every point runs twice: with the event-driven skip-ahead
+            // scheduler (the default) and in plain ticked mode. The two
+            // serialized stats must be byte-identical — skip-ahead is a
+            // host-time optimization and must be observationally
+            // invisible (DESIGN.md §13) — and the shared rendering is
+            // what the golden file pins.
+            let run = |cfg: SimConfig| {
+                if multi { w.run_multiscalar(cfg) } else { w.run_scalar(cfg) }
+                    .unwrap_or_else(|e| panic!("{} on {name}: {e}", w.name))
+            };
+            let skipped = stats_to_json(&run(cfg.skip_ahead(true)));
+            let ticked = stats_to_json(&run(cfg.skip_ahead(false)));
+            assert_eq!(
+                skipped, ticked,
+                "{} on {name}: skip-ahead changed simulated behaviour",
+                w.name
+            );
             out.push_str(w.name);
             out.push(' ');
             out.push_str(name);
             out.push(' ');
-            out.push_str(&stats_to_json(&stats));
+            out.push_str(&skipped);
             out.push('\n');
         }
     }
