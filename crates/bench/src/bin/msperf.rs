@@ -30,6 +30,7 @@
 use ms_bench::perf::{
     measure, measure_accounted, perf_to_json, render_perf, MachineSpec, PerfPoint,
 };
+use ms_sweep::artifacts;
 use ms_workloads::Scale;
 
 fn usage() -> ! {
@@ -146,7 +147,7 @@ fn main() {
     println!("total best wall time: {total:.3} s over {} points (reps = {reps})", points.len());
 
     let json = perf_to_json(scale.id(), reps, &points);
-    if let Err(e) = std::fs::write(&out_path, json) {
+    if let Err(e) = artifacts::write_atomic(std::path::Path::new(&out_path), json.as_bytes()) {
         eprintln!("writing {out_path}: {e}");
         std::process::exit(1);
     }

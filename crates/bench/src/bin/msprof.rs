@@ -28,6 +28,7 @@ use ms_bench::prof::{
     diff_profiles, parse_profile, profile, profile_to_csv, profile_to_json, render_profile,
     ProfPoint,
 };
+use ms_sweep::artifacts;
 use ms_workloads::Scale;
 
 fn usage() -> ! {
@@ -136,14 +137,16 @@ fn cmd_run(args: &[String]) {
     }
 
     let json = profile_to_json(scale.id(), &points);
-    if let Err(e) = std::fs::write(&out_path, json) {
+    if let Err(e) = artifacts::write_atomic(std::path::Path::new(&out_path), json.as_bytes()) {
         eprintln!("writing {out_path}: {e}");
         std::process::exit(1);
     }
     eprintln!("wrote {out_path} ({} points)", points.len());
 
     if let Some(path) = csv_path {
-        if let Err(e) = std::fs::write(&path, profile_to_csv(&points)) {
+        if let Err(e) =
+            artifacts::write_atomic(std::path::Path::new(&path), profile_to_csv(&points).as_bytes())
+        {
             eprintln!("writing {path}: {e}");
             std::process::exit(1);
         }

@@ -184,7 +184,7 @@ fn main() -> ExitCode {
     let mut artifacts_written = Vec::new();
     let mut write = |name: &str, contents: String| -> bool {
         let path = args.out_dir.join(name);
-        match std::fs::write(&path, contents) {
+        match artifacts::write_atomic(&path, contents.as_bytes()) {
             Ok(()) => {
                 artifacts_written.push(path.display().to_string());
                 true

@@ -18,7 +18,7 @@ use ms_bench::{
     ablation, evaluate_suite, render_ablation, render_cycles, render_scaling, render_table2,
     render_table34, table1, table2, tables_to_json, EvalRow,
 };
-use ms_sweep::{JobFailure, SweepCache, SweepOptions};
+use ms_sweep::{artifacts, JobFailure, SweepCache, SweepOptions};
 use ms_workloads::Scale;
 
 fn usage() -> ! {
@@ -130,7 +130,7 @@ fn main() {
             std::process::exit(2);
         }
         let json = tables_to_json(rows3.as_deref(), rows4.as_deref());
-        if let Err(e) = std::fs::write(&path, json) {
+        if let Err(e) = artifacts::write_atomic(std::path::Path::new(&path), json.as_bytes()) {
             eprintln!("writing {path}: {e}");
             std::process::exit(1);
         }

@@ -46,6 +46,13 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+pub mod serve_chaos;
+
+pub use serve_chaos::{
+    run_serve_campaign, ServeCampaign, ServeCampaignReport, ServePointResult, ServeTotals,
+    HOST_PLAN_NAMES,
+};
+
 /// The built-in plan shapes, in campaign order.
 pub const PLAN_NAMES: [&str; 5] = ["mispredict", "ring", "arb", "squash", "storm"];
 

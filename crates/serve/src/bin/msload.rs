@@ -3,8 +3,8 @@
 //! ```text
 //! cargo run --release -p ms-serve --bin msload -- \
 //!     [--addr HOST:PORT] [--connections N] [--requests N] [--points N] \
-//!     [--seed N] [--out FILE] [--timing-out FILE] [--stats-out FILE] \
-//!     [--shutdown]
+//!     [--seed N] [--deadline-ms MS] [--backoff-cap-ms MS] \
+//!     [--out FILE] [--timing-out FILE] [--stats-out FILE] [--shutdown]
 //! ```
 //!
 //! Opens `--connections` concurrent connections, pipelines `--requests`
@@ -21,6 +21,12 @@
 //! `--stats-out` fetches the daemon's counters after the run (CI asserts
 //! dedup and cache activity from it); `--shutdown` then drains the
 //! daemon.
+//!
+//! Overload retries back off exponentially from the server's hint with
+//! deterministic seeded jitter, capped at `--backoff-cap-ms`; a request
+//! that cannot settle within `--deadline-ms` (daemon wedged, network
+//! gone quiet) becomes a structured failure row in the report instead
+//! of hanging the run.
 //!
 //! Exits non-zero if any same-point responses diverged or any request
 //! failed outright.
@@ -39,7 +45,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: msload [--addr HOST:PORT] [--connections N] [--requests N] [--points N] \
-         [--seed N] [--out FILE] [--timing-out FILE] [--stats-out FILE] [--shutdown]"
+         [--seed N] [--deadline-ms MS] [--backoff-cap-ms MS] [--out FILE] \
+         [--timing-out FILE] [--stats-out FILE] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -76,6 +83,14 @@ fn parse_args() -> Args {
             }
             "--points" => args.opts.points = number("--points", value("--points")),
             "--seed" => args.opts.seed = number("--seed", value("--seed")) as u64,
+            "--deadline-ms" => {
+                args.opts.deadline_ms =
+                    number("--deadline-ms", value("--deadline-ms")).max(1) as u64
+            }
+            "--backoff-cap-ms" => {
+                args.opts.backoff_cap_ms =
+                    number("--backoff-cap-ms", value("--backoff-cap-ms")).max(1) as u64
+            }
             "--out" => args.out = Some(value("--out")),
             "--timing-out" => args.timing_out = Some(value("--timing-out")),
             "--stats-out" => args.stats_out = Some(value("--stats-out")),
@@ -90,7 +105,7 @@ fn parse_args() -> Args {
 }
 
 fn write_artifact(path: &str, contents: &str) -> bool {
-    match std::fs::write(path, contents) {
+    match ms_sweep::artifacts::write_atomic(std::path::Path::new(path), contents.as_bytes()) {
         Ok(()) => {
             eprintln!("msload: wrote {path}");
             true

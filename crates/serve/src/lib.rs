@@ -44,10 +44,16 @@ pub mod flight;
 pub mod load;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod stats;
+pub mod supervise;
+pub mod worker;
 
 pub use flight::{Flight, FlightBoard, FlightOutcome};
 pub use load::{run_load, LoadOptions, LoadOutcome};
 pub use protocol::{Envelope, Request, RunRequest, SweepRequest, PROTO};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use shard::ProcessShardExecutor;
 pub use stats::{ServeStats, StatsSnapshot};
+pub use supervise::{PoisonJob, ShardOptions, ShardStats, Supervisor};
+pub use worker::worker_main;

@@ -56,6 +56,14 @@ pub struct LoadOptions {
     pub seed: u64,
     /// Retry budget per request for `overloaded` responses.
     pub max_retries: usize,
+    /// Upper bound on any single retry backoff sleep. The server's
+    /// `retry_after_ms` hint grows exponentially per attempt (plus
+    /// deterministic seeded jitter) but never past this cap.
+    pub backoff_cap_ms: u64,
+    /// Per-request deadline: a request whose response (including all its
+    /// retries) does not arrive within this window becomes a structured
+    /// failure row in the outcome instead of hanging the run.
+    pub deadline_ms: u64,
 }
 
 impl Default for LoadOptions {
@@ -67,6 +75,8 @@ impl Default for LoadOptions {
             points: 4,
             seed: 1,
             max_retries: 8,
+            backoff_cap_ms: 1_000,
+            deadline_ms: 30_000,
         }
     }
 }
@@ -91,6 +101,32 @@ fn request_line(point: usize, job: &Job) -> String {
         "{{\"op\":\"run\",\"id\":{point},\"workload\":\"{}\",\"scale\":\"test\",\"units\":{}}}\n",
         job.workload, job.cfg.units
     )
+}
+
+/// SplitMix64 finalizer — the jitter source. Pure function of its
+/// input, so retry schedules are reproducible from the seed.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The backoff before retry `attempt` (0-based) of `point` on
+/// connection `conn`: the server's `retry_after_ms` hint doubled per
+/// attempt, plus deterministic jitter (up to a quarter of the base,
+/// derived from the seed so identical runs sleep identically while
+/// concurrent connections desynchronize), hard-capped at
+/// [`LoadOptions::backoff_cap_ms`].
+fn backoff_ms(opts: &LoadOptions, conn: usize, point: usize, attempt: usize, hint: u64) -> u64 {
+    let base = hint.max(1).saturating_mul(1u64 << attempt.min(16) as u32).min(opts.backoff_cap_ms);
+    let salt = opts
+        .seed
+        .wrapping_add((conn as u64) << 40)
+        .wrapping_add((point as u64) << 20)
+        .wrapping_add(attempt as u64);
+    let jitter = mix64(salt) % (base / 4 + 1);
+    (base + jitter).min(opts.backoff_cap_ms)
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -143,6 +179,9 @@ pub struct LoadOutcome {
     /// Overload rejections that were retried (operational, excluded
     /// from the deterministic report).
     pub overload_retries: u64,
+    /// Requests abandoned because [`LoadOptions::deadline_ms`] elapsed
+    /// before a response arrived (these also count in `failed`).
+    pub deadline_failures: u64,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Per-response latencies in microseconds, measured from each
@@ -198,10 +237,12 @@ impl LoadOutcome {
         format!(
             "{{\"schema\":\"multiscalar-load-timing/v1\",\"elapsed_ms\":{},\
              \"requests_per_sec\":{:.1},\"overload_retries\":{},\
+             \"deadline_failures\":{},\
              \"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}}}}",
             self.elapsed.as_millis(),
             self.total as f64 / secs,
             self.overload_retries,
+            self.deadline_failures,
             pct(0.50),
             pct(0.90),
             pct(0.99),
@@ -213,6 +254,7 @@ struct ConnTally {
     points: Vec<PointState>,
     latencies_us: Vec<u64>,
     overload_retries: u64,
+    deadline_failures: u64,
 }
 
 fn record(state: &mut PointState, payload: &str) {
@@ -252,9 +294,11 @@ fn run_connection(
         points: vec![PointState::default(); opts.points],
         latencies_us: Vec::with_capacity(opts.requests_per_conn),
         overload_retries: 0,
+        deadline_failures: 0,
     };
+    let deadline = Duration::from_millis(opts.deadline_ms.max(1));
     let stream = TcpStream::connect(&opts.addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_read_timeout(Some(deadline))?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -276,11 +320,30 @@ fn run_connection(
     }
     writer.write_all(batch.as_bytes())?;
 
+    // A read that outlasts the per-request deadline (or a daemon that
+    // dies mid-batch) turns the unanswered remainder into structured
+    // failure rows — the run reports, it never hangs.
     let mut retry: Vec<usize> = Vec::new();
     let mut line = String::new();
-    for _ in &plan {
+    for i in 0..plan.len() {
         line.clear();
-        reader.read_line(&mut line)?;
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                0
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            for &point in &plan[i..] {
+                tally.points[point].failed += 1;
+                tally.deadline_failures += 1;
+            }
+            return Ok(tally);
+        }
         tally.latencies_us.push(t0.elapsed().as_micros() as u64);
         let bad = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
         match protocol::parse_response(&line).map_err(bad)? {
@@ -293,7 +356,13 @@ fn run_connection(
             }
             Response::Error { id, code, retry_after_ms, .. } if code == "overloaded" => {
                 tally.overload_retries += 1;
-                std::thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(100).min(1000)));
+                std::thread::sleep(Duration::from_millis(backoff_ms(
+                    opts,
+                    conn,
+                    id as usize,
+                    0,
+                    retry_after_ms.unwrap_or(100),
+                )));
                 retry.push(id as usize);
             }
             Response::Error { id, .. } => {
@@ -305,13 +374,36 @@ fn run_connection(
         }
     }
 
-    // Retries run unpipelined; each point gets `max_retries` attempts.
+    // Retries run unpipelined; each point gets `max_retries` attempts
+    // inside its own deadline window, with capped exponential backoff
+    // between attempts. A point that cannot settle in time becomes a
+    // structured failure row, never an open-ended wait.
     for point in retry {
         let mut settled = false;
-        for _ in 0..opts.max_retries {
+        let mut deadline_hit = false;
+        let point_deadline = Instant::now() + deadline;
+        for attempt in 0..opts.max_retries {
+            let remaining = point_deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                deadline_hit = true;
+                break;
+            }
             writer.write_all(request_line(point, &point_job(point, names)).as_bytes())?;
             line.clear();
-            reader.read_line(&mut line)?;
+            let n = match reader.read_line(&mut line) {
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    0
+                }
+                Err(e) => return Err(e),
+            };
+            if n == 0 {
+                deadline_hit = true;
+                break;
+            }
             match protocol::parse_response(&line) {
                 Ok(Response::Result { payload, .. }) => {
                     record(&mut tally.points[point], &payload);
@@ -320,15 +412,23 @@ fn run_connection(
                 }
                 Ok(Response::Error { code, retry_after_ms, .. }) if code == "overloaded" => {
                     tally.overload_retries += 1;
-                    std::thread::sleep(Duration::from_millis(
-                        retry_after_ms.unwrap_or(100).min(1000),
+                    let sleep = Duration::from_millis(backoff_ms(
+                        opts,
+                        conn,
+                        point,
+                        attempt + 1,
+                        retry_after_ms.unwrap_or(100),
                     ));
+                    std::thread::sleep(sleep.min(remaining));
                 }
                 Ok(_) | Err(_) => break,
             }
         }
         if !settled {
             tally.points[point].failed += 1;
+            if deadline_hit {
+                tally.deadline_failures += 1;
+            }
         }
     }
     Ok(tally)
@@ -383,6 +483,7 @@ pub fn run_load(opts: &LoadOptions) -> std::io::Result<LoadOutcome> {
     let mut points = vec![PointState::default(); opts.points];
     let mut latencies_us = Vec::new();
     let mut overload_retries = 0u64;
+    let mut deadline_failures = 0u64;
     for tally in tallies.lock().unwrap().drain(..) {
         for (merged, p) in points.iter_mut().zip(tally.points) {
             merged.requests += p.requests;
@@ -396,6 +497,7 @@ pub fn run_load(opts: &LoadOptions) -> std::io::Result<LoadOutcome> {
         }
         latencies_us.extend(tally.latencies_us);
         overload_retries += tally.overload_retries;
+        deadline_failures += tally.deadline_failures;
     }
     latencies_us.sort_unstable();
 
@@ -416,6 +518,7 @@ pub fn run_load(opts: &LoadOptions) -> std::io::Result<LoadOutcome> {
         divergent: points.iter().map(|p| p.divergent).sum(),
         failed: points.iter().map(|p| p.failed).sum(),
         overload_retries,
+        deadline_failures,
         elapsed,
         latencies_us,
     })
@@ -501,6 +604,7 @@ mod tests {
             divergent: 0,
             failed: 0,
             overload_retries: 7,
+            deadline_failures: 2,
             elapsed: Duration::from_millis(1234),
             latencies_us: vec![10, 20, 30],
         };
@@ -513,7 +617,70 @@ mod tests {
         faster.elapsed = Duration::from_millis(1);
         faster.latencies_us = vec![1];
         faster.overload_retries = 0;
+        faster.deadline_failures = 0;
         assert_eq!(report, faster.report_json(), "timing never changes the report bytes");
         assert_ne!(outcome.timing_json(), faster.timing_json());
+        assert!(outcome.timing_json().contains("\"deadline_failures\":2"));
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_deterministic_jitter() {
+        let opts = LoadOptions { seed: 7, backoff_cap_ms: 800, ..LoadOptions::default() };
+        // Reproducible: same inputs, same sleep.
+        assert_eq!(backoff_ms(&opts, 1, 2, 3, 100), backoff_ms(&opts, 1, 2, 3, 100));
+        // Grows with the attempt, never past the cap — even at absurd
+        // attempt counts (the shift saturates instead of overflowing).
+        let delays: Vec<u64> =
+            (0..12).map(|attempt| backoff_ms(&opts, 0, 0, attempt, 100)).collect();
+        assert!(delays[0] >= 100 && delays[0] <= 125, "{delays:?}");
+        assert!(delays[1] >= 200, "{delays:?}");
+        assert!(delays.iter().all(|&d| d <= 800), "{delays:?}");
+        assert_eq!(backoff_ms(&opts, 0, 0, 1_000_000, 100), 800);
+        // Jitter desynchronizes connections retrying the same point.
+        let spread: std::collections::HashSet<u64> =
+            (0..16).map(|conn| backoff_ms(&opts, conn, 0, 0, 100)).collect();
+        assert!(spread.len() > 1, "{spread:?}");
+        // And the seed changes the schedule.
+        let reseeded = LoadOptions { seed: 8, ..opts.clone() };
+        assert_ne!(
+            (0..16).map(|c| backoff_ms(&opts, c, 0, 0, 100)).collect::<Vec<_>>(),
+            (0..16).map(|c| backoff_ms(&reseeded, c, 0, 0, 100)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn silent_daemon_yields_structured_failure_rows_not_a_hang() {
+        // A "daemon" that greets and then never answers anything.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                if stream.write_all(protocol::hello_line(1, 8).as_bytes()).is_err() {
+                    break;
+                }
+                held.push(stream); // keep the socket open, say nothing
+                if held.len() >= 2 {
+                    break;
+                }
+            }
+        });
+
+        let opts = LoadOptions {
+            addr: addr.to_string(),
+            connections: 2,
+            requests_per_conn: 3,
+            points: 2,
+            deadline_ms: 300,
+            ..LoadOptions::default()
+        };
+        let t0 = Instant::now();
+        let outcome = run_load(&opts).expect("a silent daemon is rows, not an error");
+        assert!(t0.elapsed() < Duration::from_secs(10), "deadline bounded the run");
+        assert_eq!(outcome.failed, 6, "{outcome:?}");
+        assert_eq!(outcome.deadline_failures, 6, "{outcome:?}");
+        assert_eq!(outcome.total, 0, "{outcome:?}");
+        server.join().unwrap();
     }
 }

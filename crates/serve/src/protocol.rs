@@ -42,7 +42,8 @@
 //! `results.json` document. Determinism checks rely on this: a served
 //! response can be byte-compared against the artifact a cold `mssweep`
 //! writes for the same design point. Error codes are `bad_request`,
-//! `overloaded` (with a `retry_after_ms` hint), and `shutting_down`.
+//! `overloaded` (with a `retry_after_ms` hint), `shutting_down`, and
+//! `timeout` (sent with id 0 when an idle connection is evicted).
 
 use ms_sweep::{Job, JobKind, SweepSpec};
 use ms_trace::json;
@@ -374,7 +375,8 @@ pub enum Response {
     Error {
         /// Echoed request token.
         id: u64,
-        /// Error code (`bad_request`, `overloaded`, `shutting_down`).
+        /// Error code (`bad_request`, `overloaded`, `shutting_down`,
+        /// `timeout`).
         code: String,
         /// Backoff hint, present on `overloaded`.
         retry_after_ms: Option<u64>,

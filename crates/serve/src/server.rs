@@ -62,6 +62,11 @@ pub struct ServerConfig {
     pub cache: SweepCache,
     /// Reject sweeps that expand beyond this many design points.
     pub max_sweep_jobs: usize,
+    /// Close a connection that has sent no complete request line for
+    /// this many milliseconds; `0` disables the idle timeout. The
+    /// daemon answers a structured `timeout` error line before closing,
+    /// so clients can tell an idle eviction from a crash.
+    pub idle_timeout_ms: u64,
     /// Emit one structured log line per request to stderr.
     pub log: bool,
 }
@@ -74,6 +79,7 @@ impl Default for ServerConfig {
             queue_depth: 256,
             cache: SweepCache::disabled(),
             max_sweep_jobs: 512,
+            idle_timeout_ms: 0,
             log: false,
         }
     }
@@ -204,19 +210,37 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        let outcome = match compute_and_store(
-            &item.job,
-            &item.workload,
-            item.fingerprint,
-            &shared.cfg.cache,
-            shared.exec.as_ref(),
-            0,
-        ) {
-            Ok(stats) => {
+        // The executor runs under a panic guard: a leader that panics
+        // mid-compute must still resolve its flight (with a structured
+        // failure), or every coalesced joiner waits forever and the
+        // flight key stays leased so no later caller can ever lead it.
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            compute_and_store(
+                &item.job,
+                &item.workload,
+                item.fingerprint,
+                &shared.cfg.cache,
+                shared.exec.as_ref(),
+                0,
+            )
+        }));
+        let outcome = match computed {
+            Ok(Ok(stats)) => {
                 shared.stats.computed.fetch_add(1, Ordering::Relaxed);
                 Ok(JobOutcome { job: item.job.clone(), stats, cached: false })
             }
-            Err(error) => Err(JobFailure { job: item.job.clone(), error }),
+            Ok(Err(error)) => Err(JobFailure { job: item.job.clone(), error }),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                Err(JobFailure {
+                    job: item.job.clone(),
+                    error: format!("executor panicked: {msg}"),
+                })
+            }
         };
         let payload: Arc<str> = artifacts::outcome_json(&outcome).into();
         // Complete before resolving: later identical requests must start
@@ -482,13 +506,39 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn: u64) {
     }
     shared.log(conn, &format!("peer={peer} connected"));
 
+    let idle_limit =
+        (shared.cfg.idle_timeout_ms > 0).then(|| Duration::from_millis(shared.cfg.idle_timeout_ms));
+    let mut last_line = std::time::Instant::now();
     let mut reader = LineReader::new(stream);
     loop {
         let line = match reader.read_line() {
-            Ok(ReadLine::Line(line)) => line,
+            Ok(ReadLine::Line(line)) => {
+                last_line = std::time::Instant::now();
+                line
+            }
             Ok(ReadLine::TimedOut) => {
                 if shared.stop.load(Ordering::Relaxed) {
                     break;
+                }
+                if let Some(limit) = idle_limit {
+                    if last_line.elapsed() >= limit {
+                        // Structured goodbye: clients distinguish idle
+                        // eviction from a daemon crash or network drop.
+                        shared.log(conn, "outcome=idle_timeout");
+                        let _ = writer.write_all(
+                            protocol::error_line(
+                                0,
+                                "timeout",
+                                None,
+                                &format!(
+                                    "idle for longer than {}ms; reconnect to continue",
+                                    shared.cfg.idle_timeout_ms
+                                ),
+                            )
+                            .as_bytes(),
+                        );
+                        break;
+                    }
                 }
                 continue;
             }

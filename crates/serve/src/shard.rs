@@ -1,0 +1,71 @@
+//! [`ProcessShardExecutor`]: ms-sweep's [`Executor`] contract backed by
+//! supervised worker *processes* instead of threads.
+//!
+//! The sweep engine (and the `msserve` daemon, which executes through
+//! the same trait) hands each cache-missed job to `run`; this executor
+//! forwards it to a [`Supervisor`]-owned pool of `--worker` children
+//! over the [`crate::worker`] pipe protocol and blocks until the job
+//! settles. Everything that makes the result trustworthy lives below:
+//!
+//! - **Idempotent identity** — the job's full sweep-cache key
+//!   (workload fingerprint + `SimConfig::stable_key`) names the
+//!   computation, so retries after a worker death and deliberate
+//!   duplicates collapse to one settled result.
+//! - **Byte identity** — stats cross the pipe in the strict
+//!   `statsio` kv form, so a result computed in a shard is bit-for-bit
+//!   the result an [`ms_sweep::InProcessExecutor`] run produces, and
+//!   merged artifacts are byte-identical regardless of which worker
+//!   (or how many, after restarts) computed each point.
+//! - **Crash safety** — worker panic, SIGKILL, stall, or garbage
+//!   output surfaces as a restart + re-queue, a structured job error,
+//!   or a poison-job quarantine; never a hang, never a lost job.
+//!
+//! Process shards compute plain stats only: metrics artifacts and CPI
+//! stacks (which do not fit the kv wire form) stay with the in-process
+//! executor, and the CLIs reject those flag combinations up front.
+
+use crate::supervise::{PoisonJob, ShardOptions, ShardStats, Supervisor};
+use ms_sweep::{Executor, Job};
+use ms_workloads::Workload;
+use multiscalar::RunStats;
+
+/// An [`Executor`] that computes every job on a supervised pool of
+/// worker processes. Construction spawns the pool; drop (or
+/// [`ProcessShardExecutor::shutdown`]) tears it down.
+pub struct ProcessShardExecutor {
+    sup: Supervisor,
+}
+
+impl ProcessShardExecutor {
+    /// Starts the worker pool described by `opts`.
+    pub fn start(opts: ShardOptions) -> ProcessShardExecutor {
+        ProcessShardExecutor { sup: Supervisor::start(opts) }
+    }
+
+    /// Snapshot of the supervision counters (restarts, re-queues,
+    /// duplicates discarded, poison jobs, ...).
+    pub fn stats(&self) -> ShardStats {
+        self.sup.stats()
+    }
+
+    /// The poison jobs quarantined so far, in order of quarantine.
+    pub fn poison_jobs(&self) -> Vec<PoisonJob> {
+        self.sup.poison_jobs()
+    }
+
+    /// Stops the worker pool. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.sup.shutdown();
+    }
+}
+
+impl Executor for ProcessShardExecutor {
+    fn run(&self, job: &Job, workload: &Workload, _slot: usize) -> Result<RunStats, String> {
+        let identity = job.cache_key(workload.fingerprint());
+        self.sup.submit_and_wait(identity, job)
+    }
+
+    fn name(&self) -> &str {
+        "process-shard"
+    }
+}

@@ -1,0 +1,421 @@
+//! The process-shard **worker**: the child side of the
+//! `multiscalar-shard/v1` pipe protocol.
+//!
+//! A worker is a re-exec of the host binary with `--worker`
+//! (`msserve --worker`, `mssweep --worker`, `mschaos --worker` all call
+//! [`worker_main`]). It speaks line-delimited JSON over its own
+//! stdin/stdout to the supervisor in the parent process:
+//!
+//! ```text
+//! parent -> worker   {"op":"job","job_id":3,"workload":"wc","scale":"test",
+//!                     "kind":"multiscalar","cfg":"simconfig v2;..."}
+//! parent -> worker   {"op":"exit"}
+//! worker -> parent   {"type":"ready","pid":4242,"gen":0}
+//! worker -> parent   {"type":"hb","job_id":3}            (periodic, while busy)
+//! worker -> parent   {"type":"result","job_id":3,"ok":true,"stats":"cycles 10\n..."}
+//! worker -> parent   {"type":"result","job_id":3,"ok":false,"error":"..."}
+//! ```
+//!
+//! The configuration travels as its [`multiscalar::SimConfig::stable_key`]
+//! rendering and the result travels as its
+//! [`ms_sweep::statsio::stats_to_kv`] rendering — both canonical,
+//! versioned serializations with strict parsers — so a result that
+//! crossed the pipe is bit-for-bit the result an in-process run would
+//! have produced, and merged artifacts stay byte-identical no matter
+//! which process computed each point.
+//!
+//! A worker holds **no state the parent cannot reconstruct**: no cache
+//! handle, no artifact writes, nothing but compute. Dying at any moment
+//! therefore loses at most the one in-flight job, which the supervisor
+//! re-queues by idempotent identity. Deliberate deaths are available for
+//! chaos testing through the [`FAULT_ENV`] variable.
+
+use ms_sweep::statsio::{stats_from_kv, stats_to_kv};
+use ms_sweep::{Executor, InProcessExecutor, Job, JobKind};
+use ms_trace::json;
+use ms_trace::jsonv::{self, JsonValue};
+use ms_workloads::{by_name, Scale};
+use multiscalar::{RunStats, SimConfig};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Env var carrying an injected fault spec: `kill@K`, `panic@K`,
+/// `stall@K:MS`, or `garbage@K`, firing on the K-th job (0-based) this
+/// worker process receives. Used by the chaos harness; ignored unless
+/// [`GEN_ENV`] is `0` (first spawn), so a restarted worker always
+/// succeeds and merged artifacts converge.
+pub const FAULT_ENV: &str = "MS_SHARD_FAULT";
+
+/// Env var the supervisor sets to the worker's spawn generation
+/// (0 for the first spawn of a slot, incremented on every restart).
+pub const GEN_ENV: &str = "MS_SHARD_GEN";
+
+/// Heartbeat period while a job is computing.
+pub const HEARTBEAT_MS: u64 = 25;
+
+/// `job_id` sentinel meaning "no job in flight".
+const IDLE: u64 = u64::MAX;
+
+// ---------------------------------------------------------------------
+// Wire rendering and parsing (used by both worker and supervisor).
+// ---------------------------------------------------------------------
+
+/// Renders the parent->worker line assigning `job` as `job_id`.
+pub fn job_line(job_id: u64, job: &Job) -> String {
+    format!(
+        "{{\"op\":\"job\",\"job_id\":{job_id},\"workload\":{},\"scale\":{},\"kind\":{},\"cfg\":{}}}\n",
+        json::string(&job.workload),
+        json::string(job.scale.id()),
+        json::string(job.kind.id()),
+        json::string(&job.cfg.stable_key()),
+    )
+}
+
+/// Renders the parent->worker line asking the worker to exit cleanly.
+pub fn exit_line() -> String {
+    "{\"op\":\"exit\"}\n".to_string()
+}
+
+/// A parsed worker->parent line.
+#[derive(Clone, Debug)]
+pub enum WorkerLine {
+    /// The worker came up and is ready for jobs.
+    Ready {
+        /// The worker's OS process id (diagnostics only).
+        pid: u64,
+        /// The spawn generation echoed from [`GEN_ENV`].
+        gen: u64,
+    },
+    /// The worker is alive and computing `job_id`.
+    Heartbeat {
+        /// The in-flight job.
+        job_id: u64,
+    },
+    /// The worker finished `job_id`.
+    Result {
+        /// The finished job.
+        job_id: u64,
+        /// Validated stats, or the executor's failure string.
+        result: Result<Box<RunStats>, String>,
+    },
+}
+
+/// Parses one worker->parent line.
+///
+/// # Errors
+/// Any malformed line is an error naming the problem; the supervisor
+/// treats it as a protocol breach and replaces the worker (a confused
+/// worker cannot be trusted with further jobs).
+pub fn parse_worker_line(line: &str) -> Result<WorkerLine, String> {
+    let doc = jsonv::parse(line.trim_end())?;
+    let ty = doc.get("type").and_then(JsonValue::as_str).ok_or("worker line has no `type`")?;
+    let job_id = |field: &str| {
+        doc.get(field).and_then(JsonValue::as_u64).ok_or("worker line has no `job_id`")
+    };
+    match ty {
+        "ready" => Ok(WorkerLine::Ready {
+            pid: doc.get("pid").and_then(JsonValue::as_u64).unwrap_or(0),
+            gen: doc.get("gen").and_then(JsonValue::as_u64).unwrap_or(0),
+        }),
+        "hb" => Ok(WorkerLine::Heartbeat { job_id: job_id("job_id")? }),
+        "result" => {
+            let id = job_id("job_id")?;
+            let ok = doc.get("ok").and_then(JsonValue::as_bool).ok_or("result has no `ok`")?;
+            if ok {
+                let kv = doc
+                    .get("stats")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("ok result has no `stats`")?;
+                let stats = stats_from_kv(kv).ok_or("result stats failed strict kv validation")?;
+                Ok(WorkerLine::Result { job_id: id, result: Ok(Box::new(stats)) })
+            } else {
+                let error = doc
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("failed result has no `error`")?
+                    .to_string();
+                Ok(WorkerLine::Result { job_id: id, result: Err(error) })
+            }
+        }
+        other => Err(format!("unknown worker line type `{other}`")),
+    }
+}
+
+/// A parsed parent->worker line.
+#[derive(Clone, Debug, PartialEq)]
+enum ParentLine {
+    // Boxed: a bare `Job` would dwarf `Exit` (clippy::large_enum_variant).
+    Job { job_id: u64, job: Box<Job> },
+    Exit,
+}
+
+fn parse_parent_line(line: &str) -> Result<ParentLine, String> {
+    let doc = jsonv::parse(line.trim_end())?;
+    let op = doc.get("op").and_then(JsonValue::as_str).ok_or("parent line has no `op`")?;
+    match op {
+        "exit" => Ok(ParentLine::Exit),
+        "job" => {
+            let job_id =
+                doc.get("job_id").and_then(JsonValue::as_u64).ok_or("job has no `job_id`")?;
+            let workload = doc
+                .get("workload")
+                .and_then(JsonValue::as_str)
+                .ok_or("job has no `workload`")?
+                .to_string();
+            let scale = doc
+                .get("scale")
+                .and_then(JsonValue::as_str)
+                .and_then(Scale::parse)
+                .ok_or("job has a bad `scale`")?;
+            let kind = match doc.get("kind").and_then(JsonValue::as_str) {
+                Some("scalar") => JobKind::Scalar,
+                Some("multiscalar") => JobKind::Multiscalar,
+                _ => return Err("job has a bad `kind`".into()),
+            };
+            let key = doc.get("cfg").and_then(JsonValue::as_str).ok_or("job has no `cfg`")?;
+            let cfg = SimConfig::from_stable_key(key)
+                .ok_or_else(|| format!("job `cfg` is not a valid stable key: `{key}`"))?;
+            Ok(ParentLine::Job { job_id, job: Box::new(Job { workload, scale, kind, cfg }) })
+        }
+        other => Err(format!("unknown parent op `{other}`")),
+    }
+}
+
+fn result_line(job_id: u64, result: &Result<RunStats, String>) -> String {
+    match result {
+        Ok(stats) => format!(
+            "{{\"type\":\"result\",\"job_id\":{job_id},\"ok\":true,\"stats\":{}}}\n",
+            json::string(&stats_to_kv(stats))
+        ),
+        Err(e) => format!(
+            "{{\"type\":\"result\",\"job_id\":{job_id},\"ok\":false,\"error\":{}}}\n",
+            json::string(e)
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (chaos testing).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum FaultKind {
+    Kill,
+    Panic,
+    Stall(u64),
+    Garbage,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct FaultSpec {
+    kind: FaultKind,
+    at: u64,
+}
+
+impl FaultSpec {
+    fn parse(spec: &str) -> Option<FaultSpec> {
+        let (kind, at) = spec.split_once('@')?;
+        match kind {
+            "kill" => Some(FaultSpec { kind: FaultKind::Kill, at: at.parse().ok()? }),
+            "panic" => Some(FaultSpec { kind: FaultKind::Panic, at: at.parse().ok()? }),
+            "garbage" => Some(FaultSpec { kind: FaultKind::Garbage, at: at.parse().ok()? }),
+            "stall" => {
+                let (at, ms) = at.split_once(':')?;
+                Some(FaultSpec { kind: FaultKind::Stall(ms.parse().ok()?), at: at.parse().ok()? })
+            }
+            _ => None,
+        }
+    }
+
+    /// The fault this process should inject, if any. Faults only arm on
+    /// generation 0 so a supervisor restart converges to a good result.
+    fn from_env(gen: u64) -> Option<FaultSpec> {
+        if gen != 0 {
+            return None;
+        }
+        FaultSpec::parse(&std::env::var(FAULT_ENV).ok()?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker process body.
+// ---------------------------------------------------------------------
+
+fn write_line(out: &Mutex<std::io::Stdout>, line: &str) {
+    let mut out = out.lock().unwrap();
+    // A dead pipe means the supervisor is gone; nothing useful remains.
+    if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
+        std::process::exit(3);
+    }
+}
+
+/// Runs the worker protocol over this process's stdin/stdout until the
+/// parent sends `exit` or closes the pipe. Returns the process exit
+/// code: 0 on a clean exit, 2 on a protocol breach from the parent.
+///
+/// Jobs execute on a plain [`InProcessExecutor`] (no metrics artifacts,
+/// no CPI accounting — process shards compute stats only). A panic in
+/// the simulator is *not* caught: the process dies and the supervisor's
+/// restart/re-queue machinery recovers, which is exactly the discipline
+/// this mode exists to prove.
+pub fn worker_main() -> i32 {
+    let gen: u64 = std::env::var(GEN_ENV).ok().and_then(|g| g.parse().ok()).unwrap_or(0);
+    let fault = FaultSpec::from_env(gen);
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    write_line(
+        &stdout,
+        &format!("{{\"type\":\"ready\",\"pid\":{},\"gen\":{gen}}}\n", std::process::id()),
+    );
+
+    // Heartbeat thread: while a job is marked in-flight, prove liveness
+    // every HEARTBEAT_MS. Dies with the process.
+    let current = Arc::new(AtomicU64::new(IDLE));
+    {
+        let current = Arc::clone(&current);
+        let stdout = Arc::clone(&stdout);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_millis(HEARTBEAT_MS));
+            let job_id = current.load(Ordering::Relaxed);
+            if job_id != IDLE {
+                write_line(&stdout, &format!("{{\"type\":\"hb\",\"job_id\":{job_id}}}\n"));
+            }
+        });
+    }
+
+    let exec = InProcessExecutor::new();
+    let stdin = std::io::stdin();
+    let mut jobs_seen: u64 = 0;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { return 0 };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_parent_line(&line) {
+            Ok(ParentLine::Exit) => return 0,
+            Ok(ParentLine::Job { job_id, job }) => {
+                let nth = jobs_seen;
+                jobs_seen += 1;
+                current.store(job_id, Ordering::Relaxed);
+                if let Some(f) = fault.filter(|f| f.at == nth) {
+                    match f.kind {
+                        // Abrupt death mid-job: no result, pipe closes.
+                        FaultKind::Kill => std::process::exit(9),
+                        FaultKind::Panic => panic!("injected worker panic (chaos)"),
+                        // A confused worker writing junk where a protocol
+                        // line belongs; it then never answers this job.
+                        FaultKind::Garbage => {
+                            write_line(&stdout, "!!garbage 0xDEAD not-a-protocol-line\n");
+                            current.store(IDLE, Ordering::Relaxed);
+                            continue;
+                        }
+                        // Heartbeats keep flowing; only the per-job
+                        // deadline can catch this one.
+                        FaultKind::Stall(ms) => {
+                            std::thread::sleep(std::time::Duration::from_millis(ms));
+                        }
+                    }
+                }
+                let result = match by_name(&job.workload, job.scale) {
+                    None => Err(format!("unknown workload `{}`", job.workload)),
+                    Some(w) => exec.run(&job, &w, 0),
+                };
+                current.store(IDLE, Ordering::Relaxed);
+                write_line(&stdout, &result_line(job_id, &result));
+            }
+            Err(e) => {
+                eprintln!("ms-serve worker: protocol breach from parent: {e}");
+                return 2;
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job {
+            workload: "Wc".into(),
+            scale: Scale::Test,
+            kind: JobKind::Multiscalar,
+            cfg: SimConfig::multiscalar(4).issue(2).out_of_order(true),
+        }
+    }
+
+    #[test]
+    fn job_lines_round_trip() {
+        let line = job_line(7, &job());
+        match parse_parent_line(&line).unwrap() {
+            ParentLine::Job { job_id, job: parsed } => {
+                assert_eq!(job_id, 7);
+                assert_eq!(*parsed, job());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_parent_line(&exit_line()).unwrap(), ParentLine::Exit);
+    }
+
+    #[test]
+    fn result_lines_round_trip_stats_exactly() {
+        let stats = RunStats { cycles: 123, instructions: 456, ..RunStats::default() };
+        let line = result_line(9, &Ok(stats.clone()));
+        match parse_worker_line(&line).unwrap() {
+            WorkerLine::Result { job_id, result } => {
+                assert_eq!(job_id, 9);
+                let got = result.unwrap();
+                assert_eq!(stats_to_kv(&got), stats_to_kv(&stats), "kv bytes survive the pipe");
+            }
+            other => panic!("{other:?}"),
+        }
+        let line = result_line(9, &Err("boom: it broke".into()));
+        match parse_worker_line(&line).unwrap() {
+            WorkerLine::Result { result, .. } => {
+                assert_eq!(result.unwrap_err(), "boom: it broke");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ready_and_heartbeat_lines_parse() {
+        assert!(matches!(
+            parse_worker_line("{\"type\":\"ready\",\"pid\":12,\"gen\":3}").unwrap(),
+            WorkerLine::Ready { pid: 12, gen: 3 }
+        ));
+        assert!(matches!(
+            parse_worker_line("{\"type\":\"hb\",\"job_id\":5}").unwrap(),
+            WorkerLine::Heartbeat { job_id: 5 }
+        ));
+    }
+
+    #[test]
+    fn garbage_lines_are_protocol_breaches() {
+        for line in ["!!garbage 0xDEAD", "{\"type\":\"sorcery\"}", "{", ""] {
+            assert!(parse_worker_line(line).is_err(), "{line}");
+        }
+        // Torn stats text inside a well-formed line is also a breach:
+        // strict kv validation refuses it.
+        let torn = "{\"type\":\"result\",\"job_id\":1,\"ok\":true,\"stats\":\"cycles 1\"}";
+        assert!(parse_worker_line(torn).unwrap_err().contains("strict kv"));
+    }
+
+    #[test]
+    fn fault_specs_parse_and_arm_only_on_gen_zero() {
+        assert_eq!(FaultSpec::parse("kill@2"), Some(FaultSpec { kind: FaultKind::Kill, at: 2 }));
+        assert_eq!(
+            FaultSpec::parse("stall@1:500"),
+            Some(FaultSpec { kind: FaultKind::Stall(500), at: 1 })
+        );
+        assert_eq!(
+            FaultSpec::parse("garbage@0"),
+            Some(FaultSpec { kind: FaultKind::Garbage, at: 0 })
+        );
+        assert_eq!(FaultSpec::parse("panic@3"), Some(FaultSpec { kind: FaultKind::Panic, at: 3 }));
+        for bad in ["kill", "kill@x", "stall@1", "stall@1:x", "teleport@1", ""] {
+            assert_eq!(FaultSpec::parse(bad), None, "{bad}");
+        }
+    }
+}

@@ -121,6 +121,7 @@ fn load_generator_reports_are_byte_deterministic_across_cache_states() {
         points: 3,
         seed: 7,
         max_retries: 8,
+        ..LoadOptions::default()
     };
     // Run A computes (cold cache); run B is answered from cache and
     // dedup. The deterministic reports must be byte-identical anyway.

@@ -12,6 +12,48 @@ use crate::job::Job;
 use crate::statsio::stats_to_json;
 use ms_trace::json;
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ARTIFACT_TMP: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` crash-safely: the bytes land in a private
+/// sibling temp file, are fsynced to stable storage, and are published
+/// onto `path` with an atomic rename. No crash ordering — of this
+/// process or the host — can leave a torn or half-written artifact at
+/// `path`; readers see either the old bytes or the new bytes, never a
+/// mix. All sweep/serve/chaos CLIs route their artifact writes
+/// (`results.json`, reports, profiles) through this helper.
+///
+/// # Errors
+/// Any I/O failure along the way; the temp file is removed on error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let n = ARTIFACT_TMP.fetch_add(1, Ordering::Relaxed);
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "artifact path has no file name")
+    })?;
+    let mut tmp_name = std::ffi::OsString::from(format!(".tmp-{}-{n}-", std::process::id()));
+    tmp_name.push(file_name);
+    let tmp = match dir {
+        Some(dir) => dir.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let publish = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    publish.inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
 
 /// One outcome as the exact JSON object that appears in
 /// `results.json`'s `jobs` array: `{job fields,"ok":true,"stats":{...}}`
@@ -195,6 +237,27 @@ mod tests {
         }
         let j = results_json(&r);
         assert!(j.contains(",\"cpi\":{\"schema\":"), "{j}");
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_replaces() {
+        let dir = std::env::temp_dir()
+            .join(format!("ms-sweep-artifacts-unit-{}", std::process::id()))
+            .join("nested");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+        let path = dir.join("results.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":1}");
+        // Replaces atomically, and leaves no temp droppings behind.
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":2}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
     }
 
     #[test]

@@ -17,16 +17,25 @@
 //! truncation, bit rot, a format change, a different crate version — is
 //! a miss, and the point is recomputed rather than trusted.
 //!
-//! Writes go to a temp file first and are published with an atomic
-//! rename, so a sweep killed mid-write never leaves a half-entry that a
-//! resumed run could read.
+//! Writes go to a temp file first, are fsynced, and are published with
+//! an atomic rename, so a sweep killed mid-write (or a host crash) never
+//! leaves a half-entry that a resumed run could read.
+//!
+//! A file that exists but fails validation — torn by a crashed writer
+//! that predates the fsync discipline, bit rot, or deliberate chaos
+//! injection — is *quarantined*: renamed to `<name>.corrupt` so it can
+//! be inspected post-mortem, counted (see [`SweepCache::quarantined`]),
+//! and the point recomputed. The sweep never fails because of a bad
+//! cache file, and never silently re-reads the same torn bytes twice.
 
 use crate::hash::fnv1a_64;
 use crate::statsio::{stats_from_kv, stats_to_kv};
 use multiscalar::RunStats;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const HEADER: &str = "ms-sweep-cache v1";
 
@@ -67,17 +76,20 @@ impl std::error::Error for CacheDirError {
 #[derive(Clone, Debug)]
 pub struct SweepCache {
     dir: Option<PathBuf>,
+    /// Count of entries quarantined to `.corrupt` files, shared across
+    /// clones so per-thread cache handles report into one tally.
+    quarantined: Arc<AtomicU64>,
 }
 
 impl SweepCache {
     /// A disabled cache: every lookup misses, stores are dropped.
     pub fn disabled() -> SweepCache {
-        SweepCache { dir: None }
+        SweepCache { dir: None, quarantined: Arc::new(AtomicU64::new(0)) }
     }
 
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn at(dir: impl Into<PathBuf>) -> SweepCache {
-        SweepCache { dir: Some(dir.into()) }
+        SweepCache { dir: Some(dir.into()), quarantined: Arc::new(AtomicU64::new(0)) }
     }
 
     /// The conventional cache: `$MS_SWEEP_CACHE` if set and non-empty,
@@ -133,39 +145,92 @@ impl SweepCache {
         body
     }
 
-    /// Looks up `key`. Returns `None` on a miss *or* on any validation
-    /// failure — a corrupt entry is never trusted.
-    pub fn load(&self, key: &str) -> Option<RunStats> {
-        let dir = self.dir.as_deref()?;
-        let text = fs::read_to_string(Self::entry_path(dir, key)).ok()?;
+    /// Validates entry `text` against `key`. `Ok(None)` means the entry
+    /// is well-formed but stores a *different* key (a filename-hash
+    /// collision — the other key's entry is intact and must not be
+    /// quarantined); `Err(())` means the bytes are torn or tampered.
+    fn parse(text: &str, key: &str) -> Result<Option<RunStats>, ()> {
         // Split off the trailing `checksum <hex>` line.
-        let body = text.strip_suffix('\n')?;
-        let (prefix, checksum_line) = body.rsplit_once('\n')?;
-        let stored_sum = checksum_line.strip_prefix("checksum ")?;
+        let body = text.strip_suffix('\n').ok_or(())?;
+        let (prefix, checksum_line) = body.rsplit_once('\n').ok_or(())?;
+        let stored_sum = checksum_line.strip_prefix("checksum ").ok_or(())?;
         let mut prefix = prefix.to_string();
         prefix.push('\n');
         if format!("{:016x}", fnv1a_64(prefix.as_bytes())) != stored_sum {
-            return None;
+            return Err(());
         }
-        let rest = prefix.strip_prefix(HEADER)?.strip_prefix('\n')?;
-        let (key_line, stats_text) = rest.split_once('\n')?;
-        if key_line.strip_prefix("key ")? != key {
-            return None;
+        let rest = prefix.strip_prefix(HEADER).and_then(|r| r.strip_prefix('\n')).ok_or(())?;
+        let (key_line, stats_text) = rest.split_once('\n').ok_or(())?;
+        if key_line.strip_prefix("key ").ok_or(())? != key {
+            return Ok(None);
         }
-        stats_from_kv(stats_text)
+        Ok(Some(stats_from_kv(stats_text).ok_or(())?))
+    }
+
+    /// Moves a torn entry aside to `<name>.corrupt` (best-effort) and
+    /// counts the quarantine. The original path is freed either way, so
+    /// the recomputed result can be stored cleanly.
+    fn quarantine(&self, path: &Path) {
+        let mut corrupt = path.as_os_str().to_os_string();
+        corrupt.push(".corrupt");
+        if fs::rename(path, &corrupt).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many torn entries this cache (including all clones of it) has
+    /// quarantined to `.corrupt` files and scheduled for recompute.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Looks up `key`. Returns `None` on a miss *or* on any validation
+    /// failure — a corrupt entry is never trusted. A file that exists
+    /// but fails validation is quarantined to `<name>.corrupt` (and
+    /// counted) so the recompute can republish cleanly; a well-formed
+    /// entry for a colliding key is left alone.
+    pub fn load(&self, key: &str) -> Option<RunStats> {
+        let dir = self.dir.as_deref()?;
+        let path = Self::entry_path(dir, key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            // Unreadable or non-UTF-8 bytes at the entry path: torn.
+            Err(_) => {
+                self.quarantine(&path);
+                return None;
+            }
+        };
+        match Self::parse(&text, key) {
+            Ok(stats) => stats,
+            Err(()) => {
+                self.quarantine(&path);
+                None
+            }
+        }
     }
 
     /// Stores `stats` under `key`. Best-effort: an I/O failure (read-only
     /// filesystem, disk full) degrades to "not cached" rather than
     /// failing the sweep; the error is reported for diagnostics.
+    ///
+    /// The write is crash-safe: bytes go to a private temp file, are
+    /// fsynced to stable storage, and only then atomically renamed onto
+    /// the entry path, so no crash ordering can publish a half-entry.
     pub fn store(&self, key: &str, stats: &RunStats) -> std::io::Result<()> {
         let Some(dir) = self.dir.as_deref() else { return Ok(()) };
         fs::create_dir_all(dir)?;
         let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
         let tmp = dir.join(format!(".tmp-{}-{n}", std::process::id()));
-        fs::write(&tmp, Self::render(key, stats))?;
-        let path = Self::entry_path(dir, key);
-        fs::rename(&tmp, &path).inspect_err(|_| {
+        let publish = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(Self::render(key, stats).as_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            fs::rename(&tmp, Self::entry_path(dir, key))
+        })();
+        publish.inspect_err(|_| {
             let _ = fs::remove_file(&tmp);
         })
     }
@@ -220,6 +285,43 @@ mod tests {
         // Restored entry hits again.
         fs::write(&path, &full).unwrap();
         assert_eq!(c.load("k").unwrap().cycles, 42);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_entries_are_quarantined_and_recomputable() {
+        let dir = tmpdir("quarantine");
+        let c = SweepCache::at(&dir);
+        c.store("k", &stats(7)).unwrap();
+        let path = SweepCache::entry_path(&dir, "k");
+        let full = fs::read_to_string(&path).unwrap();
+
+        // Tear the entry; the load misses, moves the file aside, counts.
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(c.load("k").is_none());
+        assert_eq!(c.quarantined(), 1);
+        assert!(!path.exists(), "torn entry must leave the entry path");
+        let mut corrupt = path.clone().into_os_string();
+        corrupt.push(".corrupt");
+        assert!(std::path::Path::new(&corrupt).exists(), "torn bytes preserved for post-mortem");
+
+        // The freed path accepts the recompute; later loads hit again.
+        c.store("k", &stats(7)).unwrap();
+        assert_eq!(c.load("k").unwrap().cycles, 7);
+        assert_eq!(c.quarantined(), 1, "clean reload must not re-quarantine");
+
+        // A clone shares the tally.
+        let clone = c.clone();
+        fs::write(&path, b"\xff\xfe not utf8 \xff").unwrap();
+        assert!(clone.load("k").is_none());
+        assert_eq!(c.quarantined(), 2);
+
+        // A well-formed entry for a *different* key (filename collision)
+        // is a plain miss: not quarantined, not destroyed.
+        fs::write(&path, SweepCache::render("other-key", &stats(9))).unwrap();
+        assert!(c.load("k").is_none());
+        assert_eq!(c.quarantined(), 2);
+        assert!(path.exists(), "colliding entry left intact");
         let _ = fs::remove_dir_all(&dir);
     }
 
