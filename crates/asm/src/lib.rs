@@ -47,7 +47,7 @@ mod error;
 mod parser;
 
 pub use assemble::{assemble, AsmMode};
-pub use disasm::program_to_source;
+pub use disasm::{annotate_source, program_to_source, Annotations, InsertOp, TaskAnn};
 pub use error::{AsmError, AsmErrorKind};
 pub use parser::{DataItem, DataKind, Operand, Section, Stmt, TargetSpec};
 

@@ -7,10 +7,18 @@
 //! ```text
 //! cargo run --release -p ms-bench --bin mssweep -- \
 //!     [--workloads wc,cmp,...] [--scale test|full] [--widths 1,2] \
-//!     [--units 4,8] [--order inorder|ooo|both] [--jobs N] \
-//!     [--out-dir DIR] [--cache-dir DIR] [--no-cache] [--metrics] \
-//!     [--cpi] [--quiet] [--list]
+//!     [--units 4,8] [--order inorder|ooo|both] [--partition AXES]... \
+//!     [--jobs N] [--out-dir DIR] [--cache-dir DIR] [--no-cache] \
+//!     [--metrics] [--cpi] [--quiet] [--list]
 //! ```
+//!
+//! `--partition` adds an automatic-partitioning point to the multiscalar
+//! axis: `AXES` is a `ms_cfg::PartitionPolicy` override list such as
+//! `size=8,loops=0` (or `none` for the hand-annotated source), and the
+//! flag repeats to sweep several policies side by side — task-partition
+//! heuristics become an experiment knob like any `SimConfig` axis.
+//! Without the flag, every job runs the hand-annotated sources exactly
+//! as before.
 //!
 //! Defaults reproduce the paper's full Table 3 + Table 4 design space.
 //! Under `--out-dir` (default `mssweep-out`) it writes:
@@ -53,8 +61,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: mssweep [--workloads a,b,c] [--scale test|full] [--widths 1,2] \
-         [--units 4,8] [--order inorder|ooo|both] [--jobs N] [--out-dir DIR] \
-         [--cache-dir DIR] [--no-cache] [--metrics] [--cpi] [--quiet]\n       mssweep --list"
+         [--units 4,8] [--order inorder|ooo|both] [--partition AXES|none]... \
+         [--jobs N] [--out-dir DIR] [--cache-dir DIR] [--no-cache] [--metrics] \
+         [--cpi] [--quiet]\n       mssweep --list"
     );
     std::process::exit(2);
 }
@@ -104,6 +113,23 @@ fn parse_args() -> Args {
                 });
             }
             "--widths" => spec.widths = parse_list("--widths", &value("--widths")),
+            "--partition" => {
+                // Normalize to the policy's stable key so equivalent
+                // spellings (`size=8` vs `loops=1,size=8`) share one
+                // design point and one cache entry.
+                let axes = value("--partition");
+                spec.partitions.push(if axes == "none" {
+                    None
+                } else {
+                    match ms_cfg::PartitionPolicy::parse(&axes) {
+                        Ok(p) => Some(p.stable_key()),
+                        Err(e) => {
+                            eprintln!("--partition: {e}");
+                            usage();
+                        }
+                    }
+                });
+            }
             "--units" => spec.unit_counts = parse_list("--units", &value("--units")),
             "--order" => {
                 spec.orders = match value("--order").as_str() {

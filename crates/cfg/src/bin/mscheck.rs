@@ -3,23 +3,36 @@
 //!
 //! ```text
 //! mscheck program.s            # check annotations
-//! mscheck --list program.s     # also print the annotated listing
+//! mscheck --list program.s     # print the annotated listing to stdout
 //! ```
+//!
+//! With `--list`, the listing is the only stdout output; diagnostics and
+//! the summary line go to stderr so piped listings stay machine-clean.
 //!
 //! Exit status: 0 if no errors, 1 on annotation errors, 2 on usage or
 //! assembly failure.
 
 use ms_asm::{assemble, AsmMode};
-use ms_cfg::{check_program, Severity};
+use ms_cfg::{check_program, parse_cli, CliSpec, Severity};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: mscheck [--list] <program.s>";
+const SPEC: CliSpec = CliSpec { flags: &["--list"], options: &[] };
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let list = args.iter().any(|a| a == "--list");
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: mscheck [--list] <program.s>");
+    let args = match parse_cli(&SPEC, std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mscheck: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let [path] = args.positional.as_slice() else {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    let list = args.has("--list");
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -38,12 +51,25 @@ fn main() -> ExitCode {
         println!("{}", prog.listing());
     }
     let report = check_program(&prog);
+    // With --list active, stdout is reserved for the listing; findings
+    // move to stderr so `mscheck --list prog.s | ...` stays parseable.
+    let mut say: Box<dyn FnMut(std::fmt::Arguments)> = if list {
+        Box::new(|line| eprintln!("{line}"))
+    } else {
+        Box::new(|line| println!("{line}"))
+    };
     for d in &report.diagnostics {
-        println!("{d}");
+        say(format_args!("{d}"));
     }
     let errors = report.of_severity(Severity::Error).count();
     let warnings = report.of_severity(Severity::Warning).count();
-    println!("{}: {} tasks, {} errors, {} warnings", path, report.tasks.len(), errors, warnings);
+    say(format_args!(
+        "{}: {} tasks, {} errors, {} warnings",
+        path,
+        report.tasks.len(),
+        errors,
+        warnings
+    ));
     if errors > 0 {
         ExitCode::from(1)
     } else {

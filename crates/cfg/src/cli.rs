@@ -1,0 +1,156 @@
+//! Minimal shared argument parsing for the `ms-cfg` binaries.
+//!
+//! `mscheck` historically ignored unknown `--` flags, so a typo like
+//! `--lsit` ran a plain check and exited 0 — silently *not* doing what
+//! the user asked. This module gives `mscheck` and `mspart` one strict
+//! parser: every `--name` argument must be a declared flag (no value) or
+//! option (takes a value, `--name value` or `--name=value`, repeatable);
+//! anything else is an error the binary reports with its usage text and
+//! exit status 2.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The argument vocabulary of one binary.
+#[derive(Clone, Copy, Debug)]
+pub struct CliSpec {
+    /// Boolean flags, spelled with their leading dashes (e.g. `--list`).
+    pub flags: &'static [&'static str],
+    /// Value-taking options, spelled with their leading dashes. Options
+    /// may repeat; values accumulate in order.
+    pub options: &'static [&'static str],
+}
+
+/// Parsed arguments: which flags were present, option values in order of
+/// appearance, and positional arguments in order.
+#[derive(Clone, Debug, Default)]
+pub struct CliArgs {
+    /// Flags seen on the command line.
+    pub flags: BTreeSet<String>,
+    /// Option values, keyed by option name, in appearance order.
+    pub options: BTreeMap<String, Vec<String>>,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+}
+
+impl CliArgs {
+    /// Whether `flag` (with dashes) was present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains(flag)
+    }
+
+    /// All values given for `option` (with dashes), in order.
+    pub fn values(&self, option: &str) -> &[String] {
+        self.options.get(option).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The last value given for `option`, if any.
+    pub fn value(&self, option: &str) -> Option<&str> {
+        self.values(option).last().map(String::as_str)
+    }
+}
+
+/// A command-line the spec rejects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses `args` (without the program name) against `spec`.
+///
+/// A literal `--` ends option parsing; everything after it is
+/// positional. Any other argument starting with `-` that is not a
+/// declared flag or option is rejected.
+///
+/// # Errors
+/// Returns a [`CliError`] naming the offending argument for unknown
+/// flags, a missing option value, or a value supplied to a plain flag.
+pub fn parse_cli(
+    spec: &CliSpec,
+    args: impl IntoIterator<Item = String>,
+) -> Result<CliArgs, CliError> {
+    let mut parsed = CliArgs::default();
+    let mut it = args.into_iter();
+    let mut options_done = false;
+    while let Some(arg) = it.next() {
+        if options_done || arg == "-" || !arg.starts_with('-') {
+            parsed.positional.push(arg);
+            continue;
+        }
+        if arg == "--" {
+            options_done = true;
+            continue;
+        }
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) => (n.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        if spec.flags.contains(&name.as_str()) {
+            if inline.is_some() {
+                return Err(CliError(format!("flag `{name}` does not take a value")));
+            }
+            parsed.flags.insert(name);
+        } else if spec.options.contains(&name.as_str()) {
+            let value = match inline {
+                Some(v) => v,
+                None => {
+                    it.next().ok_or_else(|| CliError(format!("option `{name}` needs a value")))?
+                }
+            };
+            parsed.options.entry(name).or_default().push(value);
+        } else {
+            return Err(CliError(format!("unknown option `{arg}`")));
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: CliSpec = CliSpec { flags: &["--list"], options: &["--policy", "--workload"] };
+
+    fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
+        parse_cli(&SPEC, args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_options_and_positionals_separate() {
+        let a = parse(&["--list", "--policy", "size=8", "--policy=size=16", "prog.s"]).unwrap();
+        assert!(a.has("--list"));
+        assert_eq!(a.values("--policy"), ["size=8", "size=16"]);
+        assert_eq!(a.value("--policy"), Some("size=16"));
+        assert_eq!(a.positional, ["prog.s"]);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let e = parse(&["--lsit", "prog.s"]).unwrap_err();
+        assert!(e.to_string().contains("--lsit"), "{e}");
+    }
+
+    #[test]
+    fn missing_option_value_is_rejected() {
+        let e = parse(&["--policy"]).unwrap_err();
+        assert!(e.to_string().contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn flag_with_value_is_rejected() {
+        let e = parse(&["--list=yes"]).unwrap_err();
+        assert!(e.to_string().contains("does not take a value"), "{e}");
+    }
+
+    #[test]
+    fn double_dash_ends_option_parsing() {
+        let a = parse(&["--", "--lsit"]).unwrap();
+        assert_eq!(a.positional, ["--lsit"]);
+    }
+}

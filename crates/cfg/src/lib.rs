@@ -26,9 +26,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod cli;
+pub mod partition;
 mod summary;
 mod taskcheck;
 
+pub use cli::{parse_cli, CliArgs, CliError, CliSpec};
+pub use partition::{
+    partition_program, partition_source, PartitionError, PartitionPolicy, Partitioned,
+};
 pub use summary::{summarize_functions, FnSummary};
 pub use taskcheck::{check_program, Diagnostic, Report, Severity, TaskAnalysis};
 

@@ -251,8 +251,72 @@ impl Checker<'_> {
         }
     }
 
+    /// Validates the descriptor *layout* itself: the map key must name a
+    /// descriptor that agrees about its entry, and the entry must be a
+    /// word-aligned text address. The assembler never produces a layout
+    /// that fails these checks, but a directly constructed [`Program`]
+    /// (or a future binary loader) can; a malformed layout must surface
+    /// as an error diagnostic, never as a checker panic.
+    fn check_descriptor_layout(&mut self, key: u32) -> bool {
+        let Some(desc) = self.prog.task_at(key) else {
+            self.diag(
+                Severity::Error,
+                key,
+                None,
+                format!("no task descriptor exists for entry {key:#x}"),
+            );
+            return false;
+        };
+        if desc.entry != key {
+            let entry = desc.entry;
+            self.diag(
+                Severity::Error,
+                key,
+                None,
+                format!("descriptor keyed at {key:#x} declares a different entry {entry:#x}"),
+            );
+            return false;
+        }
+        if !key.is_multiple_of(4) {
+            self.diag(
+                Severity::Error,
+                key,
+                None,
+                format!("task entry {key:#x} is not word-aligned"),
+            );
+            return false;
+        }
+        if key < self.prog.text_base || key >= self.prog.text_end() {
+            self.diag(
+                Severity::Error,
+                key,
+                None,
+                format!("task entry {key:#x} lies outside the text segment"),
+            );
+            return false;
+        }
+        true
+    }
+
     fn check_task(&mut self, entry: u32) -> TaskAnalysis {
-        let desc = self.prog.task_at(entry).expect("caller verified").clone();
+        let Some(desc) = self.prog.task_at(entry) else {
+            // Defensive twin of `check_descriptor_layout`: a task walk
+            // without a descriptor is a malformed layout, not a panic.
+            self.diag(
+                Severity::Error,
+                entry,
+                None,
+                format!("no task descriptor exists for entry {entry:#x}"),
+            );
+            return TaskAnalysis {
+                entry,
+                reachable: 0,
+                exits: Vec::new(),
+                forwards: RegMask::EMPTY,
+                releases: RegMask::EMPTY,
+            };
+        };
+        let desc = desc.clone();
         let mut exits: BTreeSet<StaticExit> = BTreeSet::new();
         let mut forwards = RegMask::EMPTY;
         let mut releases = RegMask::EMPTY;
@@ -479,11 +543,88 @@ impl Checker<'_> {
 }
 
 /// Checks every task annotation in `prog` against its code.
+///
+/// Malformed descriptor layouts (a map key disagreeing with its
+/// descriptor's entry, a misaligned entry, an entry outside the text
+/// segment) produce error diagnostics and skip the per-task walk — they
+/// never panic the checker.
 pub fn check_program(prog: &Program) -> Report {
     let mut checker = Checker { prog, summaries: summarize_functions(prog), diags: Vec::new() };
     let mut tasks = Vec::new();
     for &entry in prog.tasks.keys() {
-        tasks.push(checker.check_task(entry));
+        if checker.check_descriptor_layout(entry) {
+            tasks.push(checker.check_task(entry));
+        }
     }
     Report { tasks, diagnostics: checker.diags }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_isa::{Instr, Op, TaskDescriptor, TaskTarget};
+
+    /// A minimal two-instruction program with one well-formed task.
+    fn tiny_program() -> Program {
+        let mut prog = Program::new();
+        prog.text = vec![
+            Instr::new(Op::Addiu { rt: Reg::int(2), rs: Reg::ZERO, imm: 1 }),
+            Instr::new(Op::Halt),
+        ];
+        let entry = prog.text_base;
+        prog.entry = entry;
+        prog.tasks.insert(
+            entry,
+            TaskDescriptor::new(entry, RegMask::from_iter([Reg::int(2)]), vec![TaskTarget::halt()]),
+        );
+        prog
+    }
+
+    #[test]
+    fn well_formed_layout_passes() {
+        let r = check_program(&tiny_program());
+        assert!(!r.has_errors(), "{r}");
+        assert_eq!(r.tasks.len(), 1);
+    }
+
+    #[test]
+    fn descriptor_key_entry_mismatch_is_an_error_not_a_panic() {
+        // The regression this pins: a descriptor registered under a key
+        // that disagrees with its own entry used to reach
+        // `task_at(entry).expect("caller verified")` style assumptions.
+        let mut prog = tiny_program();
+        let desc = prog.tasks.remove(&prog.text_base).unwrap();
+        prog.tasks.insert(prog.text_base + 4, desc);
+        let r = check_program(&prog);
+        assert!(r.has_errors(), "{r}");
+        assert!(
+            r.diagnostics.iter().any(|d| d.message.contains("declares a different entry")),
+            "{r}"
+        );
+        // The malformed task is skipped, not analysed.
+        assert!(r.tasks.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn entry_outside_text_is_an_error_not_a_panic() {
+        let mut prog = tiny_program();
+        let far = prog.text_end() + 0x100;
+        prog.tasks.insert(far, TaskDescriptor::new(far, RegMask::EMPTY, vec![TaskTarget::halt()]));
+        let r = check_program(&prog);
+        assert!(r.has_errors(), "{r}");
+        assert!(
+            r.diagnostics.iter().any(|d| d.message.contains("outside the text segment")),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn misaligned_entry_is_an_error_not_a_panic() {
+        let mut prog = tiny_program();
+        let odd = prog.text_base + 2;
+        prog.tasks.insert(odd, TaskDescriptor::new(odd, RegMask::EMPTY, vec![TaskTarget::halt()]));
+        let r = check_program(&prog);
+        assert!(r.has_errors(), "{r}");
+        assert!(r.diagnostics.iter().any(|d| d.message.contains("not word-aligned")), "{r}");
+    }
 }

@@ -256,6 +256,7 @@ fn spec(c: &ServeCampaign) -> SweepSpec {
         orders: vec![false],
         unit_counts: vec![c.units],
         include_scalar: true,
+        partitions: Vec::new(),
     }
 }
 

@@ -13,10 +13,16 @@
 //!    that counts as *caught*. What must never happen is a perturbed
 //!    program running to completion with a different answer and nobody
 //!    noticing: silent divergence is the bug class this crate hunts.
+//!
+//! The core oracle, [`validate_pair`], takes an already-assembled
+//! multiscalar/scalar program pair and the memory regions to compare, so
+//! it also serves the task partitioner: a partitioned program is checked
+//! against the *original* scalar binary it was derived from.
 
 use crate::gen::{ARR_BYTES, OUT_BYTES};
 use ms_asm::{assemble, AsmMode};
 use ms_cfg::{check_program, Severity};
+use ms_isa::{Program, DATA_BASE};
 use multiscalar::{Processor, ScalarProcessor, SimConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -35,7 +41,7 @@ impl Default for ValidateOpts {
     }
 }
 
-/// The multiscalar configuration points every program is run at.
+/// The multiscalar configuration points every fuzz program is run at.
 pub fn config_points(opts: &ValidateOpts) -> Vec<(&'static str, SimConfig)> {
     [
         ("ms1", SimConfig::multiscalar(1)),
@@ -46,6 +52,32 @@ pub fn config_points(opts: &ValidateOpts) -> Vec<(&'static str, SimConfig)> {
     .into_iter()
     .map(|(n, c)| (n, c.max_cycles(opts.max_cycles).watchdog(Some(opts.watchdog))))
     .collect()
+}
+
+/// The configuration points partitioned programs are validated at: one
+/// unit (pure sequencing), a wide out-of-order point, and a narrow ring —
+/// the acceptance spread for machine-derived task boundaries.
+pub fn partition_config_points(opts: &ValidateOpts) -> Vec<(&'static str, SimConfig)> {
+    [
+        ("ms1", SimConfig::multiscalar(1)),
+        ("ms4-ooo2", SimConfig::multiscalar(4).issue(2).out_of_order(true)),
+        ("ms8-ring1", SimConfig::multiscalar(8).ring_width(1).ring_latency(2)),
+    ]
+    .into_iter()
+    .map(|(n, c)| (n, c.max_cycles(opts.max_cycles).watchdog(Some(opts.watchdog))))
+    .collect()
+}
+
+/// The data-memory window to compare for `prog`: from the data base to
+/// 64 KiB past the last initialized segment. The slack covers `.space`
+/// tails (result arrays reserve address space without materializing
+/// bytes); the stack is deliberately excluded — it holds saved `$31`
+/// return addresses, which legitimately differ when inserted
+/// instructions shift code addresses.
+pub fn data_window(prog: &Program) -> (u32, usize) {
+    const SLACK: u32 = 64 * 1024;
+    let extent = prog.data.iter().map(|s| s.base + s.bytes.len() as u32).max().unwrap_or(DATA_BASE);
+    (DATA_BASE, (extent.max(DATA_BASE) - DATA_BASE + SLACK) as usize)
 }
 
 /// The outcome of validating one program.
@@ -84,11 +116,34 @@ pub fn validate_source(src: &str, adversarial: bool, opts: &ValidateOpts) -> Cas
         Ok(p) => p,
         Err(e) => return CaseOutcome::fail("assemble-error", format!("scalar: {e}")),
     };
+    // Fuzz-generated programs anchor their results at `arr`; hand-written
+    // repros without one are compared over the whole data window.
+    let regions = match ms_prog.symbol("arr") {
+        Some(arr) => [(arr, (ARR_BYTES + OUT_BYTES) as usize)],
+        None => [data_window(&ms_prog)],
+    };
+    validate_pair(&ms_prog, &sc_prog, &regions, adversarial, opts, &config_points(opts))
+}
 
+/// Validates an assembled multiscalar program against a scalar reference
+/// binary: the static checker must accept `ms_prog`, and at every config
+/// in `configs` the final bytes of each `(base, len)` region in
+/// `regions`, the final registers (except `$31`) and the retire counts
+/// must match the scalar run. Retire counts must also agree *across*
+/// multiscalar configs — the architectural path is fixed, only the
+/// schedule may vary.
+pub fn validate_pair(
+    ms_prog: &Program,
+    sc_prog: &Program,
+    regions: &[(u32, usize)],
+    adversarial: bool,
+    opts: &ValidateOpts,
+    configs: &[(&'static str, SimConfig)],
+) -> CaseOutcome {
     // Static cross-validation first: running a program whose
     // annotations are known-bad can trip internal debug asserts, so a
     // static catch both passes the case and skips the simulations.
-    let report = check_program(&ms_prog);
+    let report = check_program(ms_prog);
     let errors: Vec<String> = report.of_severity(Severity::Error).map(|d| d.to_string()).collect();
     if !errors.is_empty() {
         return if adversarial {
@@ -98,20 +153,12 @@ pub fn validate_source(src: &str, adversarial: bool, opts: &ValidateOpts) -> Cas
         };
     }
 
-    let arr = match ms_prog.symbol("arr") {
-        Some(a) => a,
-        None => return CaseOutcome::fail("assemble-error", "no `arr` symbol".into()),
-    };
-    let region = (ARR_BYTES + OUT_BYTES) as usize;
-
-    // Scalar reference. The scalar binary is identical for every
-    // perturbation of a base program (annotations are stripped), so a
-    // scalar failure is always a generator bug. The oracle only
-    // compares final memory, registers, and instruction counts — never
-    // scalar cycles — so the greedy `run_fast` path (no pipeline or
-    // memory-system modelling) is a legal and much faster reference.
+    // Scalar reference. The oracle only compares final memory,
+    // registers, and instruction counts — never scalar cycles — so the
+    // greedy `run_fast` path (no pipeline or memory-system modelling)
+    // is a legal and much faster reference.
     let cfg = SimConfig::scalar().max_cycles(opts.max_cycles);
-    let mut scalar = match ScalarProcessor::new(sc_prog, cfg) {
+    let mut scalar = match ScalarProcessor::new(sc_prog.clone(), cfg) {
         Ok(s) => s,
         Err(e) => return CaseOutcome::fail("scalar-error", e.to_string()),
     };
@@ -119,18 +166,21 @@ pub fn validate_source(src: &str, adversarial: bool, opts: &ValidateOpts) -> Cas
         Ok(s) => s,
         Err(e) => return CaseOutcome::fail("scalar-error", e.to_string()),
     };
-    let sc_mem = scalar.memory().read_vec(arr, region);
+    let sc_mem: Vec<Vec<u8>> =
+        regions.iter().map(|&(base, len)| scalar.memory().read_vec(base, len)).collect();
     let sc_regs: Vec<u64> = (0..ms_isa::NUM_REGS)
         .map(|r| scalar.reg(ms_isa::Reg::from_index(r).expect("register index")))
         .collect();
 
     let mut ms_counts: Option<(u64, u64)> = None;
-    for (name, cfg) in config_points(opts) {
+    for (name, cfg) in configs {
         let prog = ms_prog.clone();
+        let cfg = *cfg;
         let run = catch_unwind(AssertUnwindSafe(|| -> Result<_, String> {
             let mut p = Processor::new(prog, cfg).map_err(|e| e.to_string())?;
             let stats = p.run().map_err(|e| e.to_string())?;
-            let mem = p.memory().read_vec(arr, region);
+            let mem: Vec<Vec<u8>> =
+                regions.iter().map(|&(base, len)| p.memory().read_vec(base, len)).collect();
             let regs = p.final_regs().ok_or_else(|| "no final registers".to_string())?;
             Ok((stats, mem, regs))
         }));
@@ -157,12 +207,11 @@ pub fn validate_source(src: &str, adversarial: bool, opts: &ValidateOpts) -> Cas
             }
         };
 
-        if let Some(d) = diverges(name, &stats, &mem, &regs, &sc_stats, &sc_mem, &sc_regs) {
+        if let Some(d) = diverges(name, regions, &stats, &mem, &regs, &sc_stats, &sc_mem, &sc_regs)
+        {
             let verdict = if adversarial { "silent-divergence" } else { "diverged" };
             return CaseOutcome::fail(verdict, d);
         }
-        // Retire counts must also agree *across* multiscalar configs:
-        // the architectural path is fixed, only the schedule may vary.
         match ms_counts {
             None => ms_counts = Some((stats.instructions, stats.tasks_retired)),
             Some((instr, tasks)) => {
@@ -191,30 +240,36 @@ pub fn validate_source(src: &str, adversarial: bool, opts: &ValidateOpts) -> Cas
 #[allow(clippy::too_many_arguments)]
 fn diverges(
     name: &str,
+    regions: &[(u32, usize)],
     stats: &multiscalar::RunStats,
-    mem: &[u8],
+    mem: &[Vec<u8>],
     regs: &[u64; ms_isa::NUM_REGS],
     sc_stats: &multiscalar::RunStats,
-    sc_mem: &[u8],
+    sc_mem: &[Vec<u8>],
     sc_regs: &[u64],
 ) -> Option<String> {
-    if let Some(i) = (0..mem.len()).find(|&i| mem[i] != sc_mem[i]) {
-        return Some(format!(
-            "{name}: memory byte arr+{i} is {:#04x}, scalar has {:#04x}",
-            mem[i], sc_mem[i]
-        ));
+    for (ri, &(base, _)) in regions.iter().enumerate() {
+        if let Some(i) = (0..mem[ri].len()).find(|&i| mem[ri][i] != sc_mem[ri][i]) {
+            return Some(format!(
+                "{name}: memory byte {:#x} is {:#04x}, scalar has {:#04x}",
+                base + i as u32,
+                mem[ri][i],
+                sc_mem[ri][i]
+            ));
+        }
     }
     // $31 holds a return address; the multiscalar text carries
-    // `release` instructions the scalar text lacks, so code addresses
-    // (and only code addresses) legitimately differ between binaries.
+    // instructions the scalar text lacks (releases, boundary jumps), so
+    // code addresses — and only code addresses — legitimately differ
+    // between binaries.
     if let Some(r) = (0..regs.len()).find(|&r| r != 31 && regs[r] != sc_regs[r]) {
         return Some(format!(
             "{name}: register ${r} is {:#x}, scalar has {:#x}",
             regs[r], sc_regs[r]
         ));
     }
-    // The multiscalar binary carries `release` instructions the scalar
-    // one lacks, so retired-instruction counts may only grow.
+    // The multiscalar binary carries instructions the scalar one lacks,
+    // so retired-instruction counts may only grow.
     if stats.instructions < sc_stats.instructions {
         return Some(format!(
             "{name}: retired {} instructions, fewer than the scalar reference's {}",

@@ -91,6 +91,7 @@ pub fn point_job(i: usize, names: &[String]) -> Job {
         scale: Scale::Test,
         kind: JobKind::Multiscalar,
         cfg: SimConfig::multiscalar(units),
+        partition: None,
     }
 }
 

@@ -93,6 +93,10 @@ pub struct RunRequest {
     pub width: usize,
     /// Out-of-order issue within each unit.
     pub ooo: bool,
+    /// Optional `ms_cfg::PartitionPolicy` stable key: auto-partition the
+    /// workload (strip hand annotations, re-derive tasks) before
+    /// simulating. Multiscalar only.
+    pub partition: Option<String>,
 }
 
 impl RunRequest {
@@ -108,6 +112,7 @@ impl RunRequest {
             scale: self.scale,
             kind: self.kind,
             cfg: cfg.issue(self.width).out_of_order(self.ooo),
+            partition: self.partition.clone(),
         }
     }
 }
@@ -139,6 +144,7 @@ impl SweepRequest {
             orders: self.orders.clone(),
             unit_counts: self.units.clone(),
             include_scalar: self.include_scalar,
+            partitions: Vec::new(),
         }
     }
 }
@@ -202,7 +208,14 @@ fn parse_run(doc: &JsonValue) -> Result<RunRequest, String> {
         None => false,
         Some(b) => b.as_bool().ok_or("`ooo` must be a boolean")?,
     };
-    Ok(RunRequest { workload, scale, kind, units, width, ooo })
+    let partition = match doc.get("partition") {
+        None => None,
+        Some(p) => Some(p.as_str().ok_or("`partition` must be a string")?.to_string()),
+    };
+    if partition.is_some() && kind == JobKind::Scalar {
+        return Err("`partition` applies only to multiscalar runs".into());
+    }
+    Ok(RunRequest { workload, scale, kind, units, width, ooo, partition })
 }
 
 fn parse_sweep(doc: &JsonValue) -> Result<SweepRequest, String> {

@@ -9,6 +9,8 @@
 //! ```text
 //! parent -> worker   {"op":"job","job_id":3,"workload":"wc","scale":"test",
 //!                     "kind":"multiscalar","cfg":"simconfig v2;..."}
+//!                    (optional "partition":"part v1;..." — auto-partition
+//!                     the workload before simulating)
 //! parent -> worker   {"op":"exit"}
 //! worker -> parent   {"type":"ready","pid":4242,"gen":0}
 //! worker -> parent   {"type":"hb","job_id":3}            (periodic, while busy)
@@ -34,7 +36,7 @@ use ms_sweep::statsio::{stats_from_kv, stats_to_kv};
 use ms_sweep::{Executor, InProcessExecutor, Job, JobKind};
 use ms_trace::json;
 use ms_trace::jsonv::{self, JsonValue};
-use ms_workloads::{by_name, Scale};
+use ms_workloads::Scale;
 use multiscalar::{RunStats, SimConfig};
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,8 +65,14 @@ const IDLE: u64 = u64::MAX;
 
 /// Renders the parent->worker line assigning `job` as `job_id`.
 pub fn job_line(job_id: u64, job: &Job) -> String {
+    // `partition` is emitted only when present, so pre-axis supervisors
+    // and workers keep exchanging byte-identical lines.
+    let partition = match &job.partition {
+        Some(p) => format!(",\"partition\":{}", json::string(p)),
+        None => String::new(),
+    };
     format!(
-        "{{\"op\":\"job\",\"job_id\":{job_id},\"workload\":{},\"scale\":{},\"kind\":{},\"cfg\":{}}}\n",
+        "{{\"op\":\"job\",\"job_id\":{job_id},\"workload\":{},\"scale\":{},\"kind\":{},\"cfg\":{}{partition}}}\n",
         json::string(&job.workload),
         json::string(job.scale.id()),
         json::string(job.kind.id()),
@@ -176,7 +184,11 @@ fn parse_parent_line(line: &str) -> Result<ParentLine, String> {
             let key = doc.get("cfg").and_then(JsonValue::as_str).ok_or("job has no `cfg`")?;
             let cfg = SimConfig::from_stable_key(key)
                 .ok_or_else(|| format!("job `cfg` is not a valid stable key: `{key}`"))?;
-            Ok(ParentLine::Job { job_id, job: Box::new(Job { workload, scale, kind, cfg }) })
+            let partition = doc.get("partition").and_then(JsonValue::as_str).map(str::to_string);
+            Ok(ParentLine::Job {
+                job_id,
+                job: Box::new(Job { workload, scale, kind, cfg, partition }),
+            })
         }
         other => Err(format!("unknown parent op `{other}`")),
     }
@@ -316,10 +328,9 @@ pub fn worker_main() -> i32 {
                         }
                     }
                 }
-                let result = match by_name(&job.workload, job.scale) {
-                    None => Err(format!("unknown workload `{}`", job.workload)),
-                    Some(w) => exec.run(&job, &w, 0),
-                };
+                let result =
+                    ms_sweep::resolve_workload(&job.workload, job.scale, job.partition.as_deref())
+                        .and_then(|(w, _)| exec.run(&job, &w, 0));
                 current.store(IDLE, Ordering::Relaxed);
                 write_line(&stdout, &result_line(job_id, &result));
             }
@@ -342,6 +353,7 @@ mod tests {
             scale: Scale::Test,
             kind: JobKind::Multiscalar,
             cfg: SimConfig::multiscalar(4).issue(2).out_of_order(true),
+            partition: None,
         }
     }
 
@@ -356,6 +368,20 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(parse_parent_line(&exit_line()).unwrap(), ParentLine::Exit);
+    }
+
+    #[test]
+    fn job_lines_carry_the_partition_key_when_present() {
+        let with =
+            Job { partition: Some("part v1;size=8;loops=1;calls=0;fwd=1;rel=1".into()), ..job() };
+        let line = job_line(3, &with);
+        assert!(line.contains("\"partition\":"), "{line}");
+        match parse_parent_line(&line).unwrap() {
+            ParentLine::Job { job: parsed, .. } => assert_eq!(*parsed, with),
+            other => panic!("{other:?}"),
+        }
+        // Absent field parses back to None (pre-axis lines stay valid).
+        assert!(!job_line(3, &job()).contains("partition"));
     }
 
     #[test]

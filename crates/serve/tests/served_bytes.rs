@@ -33,6 +33,7 @@ fn served_point_bytes_equal_cold_engine_bytes() {
         orders: vec![false],
         unit_counts: vec![4],
         include_scalar: false,
+        partitions: Vec::new(),
     };
     // The reference bytes: what a cold, cache-less engine run renders
     // into results.json for this design point.
@@ -84,6 +85,7 @@ fn served_sweep_bytes_equal_results_json() {
         orders: vec![false],
         unit_counts: vec![4],
         include_scalar: true,
+        partitions: Vec::new(),
     };
     let report = run_jobs(spec.expand(), &SweepOptions::default());
     let results_json = artifacts::results_json(&report);

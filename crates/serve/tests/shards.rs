@@ -29,12 +29,14 @@ fn jobs() -> Vec<Job> {
             scale: Scale::Test,
             kind: JobKind::Scalar,
             cfg: SimConfig::scalar(),
+            partition: None,
         });
         out.push(Job {
             workload: workload.into(),
             scale: Scale::Test,
             kind: JobKind::Multiscalar,
             cfg: SimConfig::multiscalar(4).issue(2).out_of_order(true),
+            partition: None,
         });
     }
     out

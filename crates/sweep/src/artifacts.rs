@@ -192,6 +192,7 @@ mod tests {
             scale: Scale::Test,
             kind: JobKind::Multiscalar,
             cfg: SimConfig::multiscalar(4),
+            partition: None,
         };
         let bad_job = Job { workload: "Ghost".into(), kind: JobKind::Scalar, ..ok_job.clone() };
         let stats = RunStats { cycles: 10, instructions: 20, ..RunStats::default() };

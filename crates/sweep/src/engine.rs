@@ -263,17 +263,51 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepReport {
     run_jobs(spec.expand(), opts)
 }
 
-type WorkloadTable = HashMap<(String, Scale), Option<(Workload, u64)>>;
+type WorkloadTable = HashMap<(String, Scale, Option<String>), Result<(Workload, u64), String>>;
+
+/// Resolves one job's workload and content fingerprint: the named
+/// built-in at `scale`, run through the automatic task partitioner when
+/// `partition` carries a [`ms_cfg::PartitionPolicy`] stable key. The
+/// partitioned variant keeps the workload's name, inputs and memory
+/// expectations — only the task annotations change — and fingerprints
+/// over the *partitioned* source, so cached results can never alias
+/// across policies.
+///
+/// # Errors
+/// The workload name is unknown, the partition key does not parse, or
+/// the partitioner rejects the program.
+pub fn resolve_workload(
+    name: &str,
+    scale: Scale,
+    partition: Option<&str>,
+) -> Result<(Workload, u64), String> {
+    let w = by_name(name, scale)
+        .ok_or_else(|| format!("unknown workload `{}`", name.to_ascii_lowercase()))?;
+    let w = match partition {
+        None => w,
+        Some(key) => {
+            let policy = ms_cfg::PartitionPolicy::from_stable_key(key)
+                .map_err(|e| format!("bad partition key `{key}`: {e}"))?;
+            let part = ms_cfg::partition_source(&w.source, &policy)
+                .map_err(|e| format!("partitioning under `{key}` failed: {e}"))?;
+            Workload {
+                name: w.name,
+                description: w.description,
+                source: part.source,
+                checks: w.checks,
+            }
+        }
+    };
+    let fp = w.fingerprint();
+    Ok((w, fp))
+}
 
 fn resolve_workloads(jobs: &[Job]) -> WorkloadTable {
     let mut table = WorkloadTable::new();
     for j in jobs {
-        table.entry((j.workload.to_ascii_lowercase(), j.scale)).or_insert_with(|| {
-            by_name(&j.workload, j.scale).map(|w| {
-                let fp = w.fingerprint();
-                (w, fp)
-            })
-        });
+        table
+            .entry((j.workload.to_ascii_lowercase(), j.scale, j.partition.clone()))
+            .or_insert_with(|| resolve_workload(&j.workload, j.scale, j.partition.as_deref()));
     }
     table
 }
@@ -334,12 +368,15 @@ pub fn run_jobs_with(jobs: Vec<Job>, opts: &SweepOptions, exec: &dyn Executor) -
     let mut pending: Vec<(usize, Job)> = Vec::new();
     let mut cache_hits = 0usize;
     for (i, job) in jobs.into_iter().enumerate() {
-        let entry = &workloads[&(job.workload.to_ascii_lowercase(), job.scale)];
-        let Some((_, fingerprint)) = entry else {
-            progress.tick(&job, "FAILED (unknown workload)");
-            *slots[i].lock().unwrap() =
-                Some(Err(JobFailure { error: "unknown workload".into(), job }));
-            continue;
+        let entry =
+            &workloads[&(job.workload.to_ascii_lowercase(), job.scale, job.partition.clone())];
+        let (_, fingerprint) = match entry {
+            Ok(resolved) => resolved,
+            Err(error) => {
+                progress.tick(&job, &format!("FAILED ({error})"));
+                *slots[i].lock().unwrap() = Some(Err(JobFailure { error: error.clone(), job }));
+                continue;
+            }
         };
         let probe = (opts.metrics_dir.is_none() && !opts.cpi) || job.kind == JobKind::Scalar;
         if probe {
@@ -364,7 +401,7 @@ pub fn run_jobs_with(jobs: Vec<Job>, opts: &SweepOptions, exec: &dyn Executor) -
                     let p = next.fetch_add(1, Ordering::Relaxed);
                     let Some((slot, job)) = pending.get(p) else { break };
                     let (workload, fingerprint) = workloads
-                        [&(job.workload.to_ascii_lowercase(), job.scale)]
+                        [&(job.workload.to_ascii_lowercase(), job.scale, job.partition.clone())]
                         .as_ref()
                         .expect("pending jobs have resolved workloads");
                     let outcome = match compute_and_store(
@@ -411,12 +448,14 @@ mod tests {
                 scale: Scale::Test,
                 kind: JobKind::Scalar,
                 cfg: SimConfig::scalar(),
+                partition: None,
             },
             Job {
                 workload: "Wc".into(),
                 scale: Scale::Test,
                 kind: JobKind::Multiscalar,
                 cfg: SimConfig::multiscalar(4),
+                partition: None,
             },
         ]
     }
@@ -444,6 +483,32 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert!(failures[0].to_string().contains("nosuchbenchmark"));
         assert_eq!(report.successes().count(), 1);
+    }
+
+    #[test]
+    fn partitioned_points_run_and_match_hand_annotated_results() {
+        let key = ms_cfg::PartitionPolicy::default().stable_key();
+        let mut jobs = tiny_jobs();
+        jobs[1].partition = Some(key.clone());
+        let report = run_jobs(jobs, &SweepOptions::default());
+        let results = report.into_results().expect("partitioned point succeeds");
+        // The partitioner preserves architecture: the machine-derived
+        // tasks retire at least the scalar baseline's instructions and
+        // satisfy the workload's memory expectations (checked by the
+        // executor), so both points simply succeed.
+        assert!(results[1].stats.instructions >= results[0].stats.instructions);
+        assert!(results[1].job.id().contains("/part["));
+    }
+
+    #[test]
+    fn bad_partition_key_fails_that_point_only() {
+        let mut jobs = tiny_jobs();
+        jobs[1].partition = Some("part v0;bogus".into());
+        let report = run_jobs(jobs, &SweepOptions::default());
+        assert_eq!(report.executed, 1);
+        let failures: Vec<_> = report.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].to_string().contains("bad partition key"), "{}", failures[0]);
     }
 
     #[test]

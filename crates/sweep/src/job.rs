@@ -36,6 +36,12 @@ pub struct Job {
     pub kind: JobKind,
     /// Full simulator configuration.
     pub cfg: SimConfig,
+    /// Partition-policy stable key (`ms_cfg::PartitionPolicy`): when
+    /// present, the workload's hand annotations are stripped and
+    /// re-derived by the automatic partitioner before simulation. `None`
+    /// runs the source as written. Only meaningful for multiscalar jobs;
+    /// the scalar baseline ignores annotations either way.
+    pub partition: Option<String>,
 }
 
 impl Job {
@@ -49,14 +55,21 @@ impl Job {
             JobKind::Scalar => "scalar".to_string(),
             JobKind::Multiscalar => format!("ms{}", self.cfg.units),
         };
-        format!(
+        let mut id = format!(
             "{}@{}/{}/w{}/{}",
             self.workload.to_ascii_lowercase(),
             self.scale.id(),
             machine,
             self.cfg.issue_width,
             if self.cfg.ooo { "ooo" } else { "inorder" },
-        )
+        );
+        if let Some(key) = &self.partition {
+            // The policy axes without the `part v1;` version prefix —
+            // compact, but still distinguishes every policy point.
+            let axes = key.strip_prefix("part v1;").unwrap_or(key);
+            id.push_str(&format!("/part[{axes}]"));
+        }
+        id
     }
 
     /// The full content-addressed cache key for this job's result, given
@@ -67,7 +80,7 @@ impl Job {
     /// and the crate version (so a simulator change invalidates every
     /// entry).
     pub fn cache_key(&self, fingerprint: u64) -> String {
-        format!(
+        let mut key = format!(
             "ms-sweep v1|workload={}|scale={}|fingerprint={:016x}|kind={}|{}|crate={}",
             self.workload.to_ascii_lowercase(),
             self.scale.id(),
@@ -75,7 +88,14 @@ impl Job {
             self.kind.id(),
             self.cfg.stable_key(),
             env!("CARGO_PKG_VERSION"),
-        )
+        );
+        // Appended only when partitioning is active so every cache entry
+        // written before the partition axis existed stays addressable.
+        if let Some(p) = &self.partition {
+            key.push_str("|partition=");
+            key.push_str(p);
+        }
+        key
     }
 }
 
@@ -89,6 +109,7 @@ mod tests {
             scale: Scale::Test,
             kind: JobKind::Multiscalar,
             cfg: SimConfig::multiscalar(8).issue(2),
+            partition: None,
         }
     }
 
@@ -97,6 +118,17 @@ mod tests {
         assert_eq!(job().id(), "wc@test/ms8/w2/inorder");
         let scalar = Job { kind: JobKind::Scalar, cfg: SimConfig::scalar(), ..job() };
         assert_eq!(scalar.id(), "wc@test/scalar/w1/inorder");
+    }
+
+    #[test]
+    fn partition_appears_in_id_and_cache_key() {
+        let key = "part v1;size=8;loops=1;calls=0;fwd=1;rel=1";
+        let p = Job { partition: Some(key.into()), ..job() };
+        assert_eq!(p.id(), "wc@test/ms8/w2/inorder/part[size=8;loops=1;calls=0;fwd=1;rel=1]");
+        assert_ne!(p.cache_key(1), job().cache_key(1), "partition is part of the key");
+        assert!(p.cache_key(1).ends_with(&format!("|partition={key}")));
+        // Unpartitioned jobs keep the pre-axis key format verbatim.
+        assert!(!job().cache_key(1).contains("partition"));
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod statsio;
 
 pub use cache::{CacheDirError, SweepCache};
 pub use engine::{
-    compute_and_store, run_jobs, run_jobs_with, run_sweep, Executor, InProcessExecutor, JobFailure,
-    JobOutcome, SweepOptions, SweepReport,
+    compute_and_store, resolve_workload, run_jobs, run_jobs_with, run_sweep, Executor,
+    InProcessExecutor, JobFailure, JobOutcome, SweepOptions, SweepReport,
 };
 pub use job::{Job, JobKind};
 pub use spec::SweepSpec;

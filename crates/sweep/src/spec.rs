@@ -29,6 +29,12 @@ pub struct SweepSpec {
     /// for speedup columns; disable for ablation-style sweeps that only
     /// compare multiscalar points.
     pub include_scalar: bool,
+    /// Partition points for the multiscalar jobs: each entry is either
+    /// `None` (run the hand-annotated source) or a
+    /// `ms_cfg::PartitionPolicy` stable key (strip annotations and
+    /// re-derive them automatically). Empty means `[None]` — the
+    /// pre-axis behaviour. The scalar baseline never partitions.
+    pub partitions: Vec<Option<String>>,
 }
 
 impl SweepSpec {
@@ -41,6 +47,7 @@ impl SweepSpec {
             orders: vec![false, true],
             unit_counts: vec![4, 8],
             include_scalar: true,
+            partitions: Vec::new(),
         }
     }
 
@@ -61,8 +68,12 @@ impl SweepSpec {
 
     /// Expands the spec into the canonical ordered job list:
     /// workload-major, then order, then width, with the scalar baseline
-    /// (if any) preceding the multiscalar unit counts at each point.
+    /// (if any) preceding the multiscalar unit counts at each point;
+    /// each unit count fans out over the partition points in spec order.
     pub fn expand(&self) -> Vec<Job> {
+        let unpartitioned = [None];
+        let partitions: &[Option<String>] =
+            if self.partitions.is_empty() { &unpartitioned } else { &self.partitions };
         let mut jobs = Vec::new();
         for name in self.workload_names() {
             for &ooo in &self.orders {
@@ -73,15 +84,19 @@ impl SweepSpec {
                             scale: self.scale,
                             kind: JobKind::Scalar,
                             cfg: SimConfig::scalar().issue(width).out_of_order(ooo),
+                            partition: None,
                         });
                     }
                     for &units in &self.unit_counts {
-                        jobs.push(Job {
-                            workload: name.clone(),
-                            scale: self.scale,
-                            kind: JobKind::Multiscalar,
-                            cfg: SimConfig::multiscalar(units).issue(width).out_of_order(ooo),
-                        });
+                        for partition in partitions {
+                            jobs.push(Job {
+                                workload: name.clone(),
+                                scale: self.scale,
+                                kind: JobKind::Multiscalar,
+                                cfg: SimConfig::multiscalar(units).issue(width).out_of_order(ooo),
+                                partition: partition.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -120,5 +135,25 @@ mod tests {
         assert!(jobs.iter().all(|j| !j.cfg.ooo));
         assert_eq!(jobs[0].id(), "wc@test/scalar/w1/inorder");
         assert_eq!(jobs[3].id(), "cmp@test/ms4/w1/inorder");
+    }
+
+    #[test]
+    fn partition_axis_fans_out_multiscalar_jobs_only() {
+        let key = "part v1;size=16;loops=1;calls=0;fwd=1;rel=1";
+        let spec = SweepSpec {
+            workloads: vec!["Wc".into()],
+            widths: vec![1],
+            unit_counts: vec![4],
+            partitions: vec![None, Some(key.into())],
+            ..SweepSpec::table34(Scale::Test, false)
+        };
+        let jobs = spec.expand();
+        // 1 scalar + (1 unit count × 2 partition points).
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].kind, JobKind::Scalar);
+        assert_eq!(jobs[0].partition, None, "the baseline never partitions");
+        assert_eq!(jobs[1].partition, None);
+        assert_eq!(jobs[2].partition.as_deref(), Some(key));
+        assert_eq!(jobs, spec.expand(), "expansion stays deterministic");
     }
 }

@@ -83,6 +83,7 @@ fn corrupted_cache_entries_are_recomputed_not_trusted() {
         scale: Scale::Test,
         kind: JobKind::Multiscalar,
         cfg: SimConfig::multiscalar(4),
+        partition: None,
     };
     let cold = run_jobs(vec![job.clone()], &opts(&dir));
     let truth = cold.successes().next().unwrap().stats.cycles;
